@@ -1,0 +1,154 @@
+// Command experiments regenerates the paper's evaluation artefacts: Tables
+// 1–2 and Figures 4–5 and 10–17, printed as text tables. Results for the
+// shared (workload × scheme) sweep are memoized across figures.
+//
+// Usage:
+//
+//	experiments                          # everything (several minutes)
+//	experiments -exp fig10               # one artefact
+//	experiments -exp fig10,fig11 -records 100000 -workloads pr,ycsb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pipm"
+)
+
+var order = []string{
+	"table1", "table2", "fig4", "fig5", "fig10", "fig11", "fig12",
+	"fig13", "fig14", "fig15", "fig16", "fig17", "scalability",
+	"threshold", "adaptivity", "protocheck",
+}
+
+func main() {
+	var (
+		exps      = flag.String("exp", "all", "comma-separated artefacts: "+strings.Join(order, ", ")+", or all")
+		records   = flag.Int64("records", 0, "override trace records per core")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: full catalog)")
+		quick     = flag.Bool("quick", false, "use the small quick configuration")
+	)
+	flag.Parse()
+
+	opt := pipm.DefaultSuiteOptions()
+	if *quick {
+		opt = pipm.QuickSuiteOptions()
+	}
+	if *records > 0 {
+		opt.RecordsPerCore = *records
+	}
+	if *workloads != "" {
+		opt.Workloads = opt.Workloads[:0]
+		for _, name := range strings.Split(*workloads, ",") {
+			wl, err := pipm.WorkloadByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			opt.Workloads = append(opt.Workloads, wl)
+		}
+	}
+	suite := pipm.NewSuite(opt)
+
+	want := map[string]bool{}
+	if *exps == "all" {
+		for _, id := range order {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	for _, id := range order {
+		if !want[id] {
+			continue
+		}
+		delete(want, id)
+		start := time.Now()
+		if err := run(suite, opt, id); err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	for id := range want {
+		fatal(fmt.Errorf("unknown experiment %q", id))
+	}
+}
+
+func run(s *pipm.Suite, opt pipm.SuiteOptions, id string) error {
+	printT := func(t pipm.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Print(t.Format())
+		return nil
+	}
+	switch id {
+	case "table1":
+		fmt.Print(pipm.Table1())
+		return nil
+	case "table2":
+		fmt.Print(pipm.Table2(opt.Cfg))
+		return nil
+	case "fig4":
+		tabs, err := s.Fig4()
+		if err != nil {
+			return err
+		}
+		for _, t := range tabs {
+			fmt.Print(t.Format())
+		}
+		return nil
+	case "fig5":
+		return printT(s.Fig5())
+	case "fig10":
+		return printT(s.Fig10())
+	case "fig11":
+		return printT(s.Fig11())
+	case "fig12":
+		return printT(s.Fig12())
+	case "fig13":
+		return printT(s.Fig13())
+	case "fig14":
+		return printT(s.Fig14())
+	case "fig15":
+		return printT(s.Fig15())
+	case "fig16":
+		return printT(s.Fig16())
+	case "fig17":
+		return printT(s.Fig17())
+	case "scalability":
+		return printT(s.Scalability(nil))
+	case "threshold":
+		return printT(s.ThresholdSensitivity(nil))
+	case "adaptivity":
+		return printT(s.Adaptivity())
+	case "protocheck":
+		for _, hosts := range []int{2, 3} {
+			for _, ext := range []bool{false, true} {
+				name := "MSI"
+				if ext {
+					name = "MSI+PIPM"
+				}
+				res, v := pipm.VerifyCoherence(hosts, ext)
+				if v != nil {
+					return fmt.Errorf("%s/%d hosts: %v", name, hosts, v)
+				}
+				fmt.Printf("%-9s %d hosts: %d states, %d transitions, SWMR+SC hold, deadlock-free\n",
+					name, hosts, res.States, res.Transitions)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", id)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

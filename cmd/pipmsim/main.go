@@ -1,0 +1,146 @@
+// Command pipmsim runs one multi-host CXL-DSM simulation: a workload from
+// the Table 1 catalog under one page-placement scheme, printing the metrics
+// the paper's figures report.
+//
+// Usage:
+//
+//	pipmsim -workload pr -scheme pipm -records 400000
+//	pipmsim -workload ycsb -scheme native -hosts 4 -cores 2 -shared 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pipm"
+	"pipm/internal/stats"
+	"pipm/internal/trace"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "pr", "workload name ("+strings.Join(pipm.WorkloadNames(), ", ")+")")
+		scheme   = flag.String("scheme", "pipm", "placement scheme (native, nomad, memtis, hemem, os-skew, hw-static, pipm, local-only)")
+		records  = flag.Int64("records", 400_000, "trace records per core")
+		seed     = flag.Int64("seed", 1, "workload generator seed")
+		hosts    = flag.Int("hosts", 0, "override host count (0 = config default)")
+		cores    = flag.Int("cores", 0, "override cores per host (0 = config default)")
+		shared   = flag.Int64("shared", 0, "override shared heap size in MiB (0 = config default)")
+		compare  = flag.Bool("compare", false, "also run the native baseline and report speedup")
+		tracedir = flag.String("tracedir", "", "replay binary traces (h<h>c<c>.trc, from tracegen -outdir) instead of generating")
+	)
+	flag.Parse()
+
+	wl, err := pipm.WorkloadByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	k, err := pipm.ParseScheme(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := pipm.ScaledConfig()
+	if *hosts > 0 {
+		cfg.Hosts = *hosts
+	}
+	if *cores > 0 {
+		cfg.CoresPerHost = *cores
+	}
+	if *shared > 0 {
+		cfg.SharedBytes = *shared << 20
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	var res pipm.Result
+	var err2 error
+	if *tracedir != "" {
+		res, err2 = runFromTraces(cfg, k, *tracedir)
+	} else {
+		res, err2 = pipm.Run(cfg, wl, k, *records, *seed)
+	}
+	if err2 != nil {
+		fatal(err2)
+	}
+	fmt.Printf("workload        %s (%s)\n", wl.Name, wl.Suite)
+	fmt.Printf("scheme          %v\n", k)
+	fmt.Printf("exec time       %v\n", res.ExecTime)
+	fmt.Printf("IPC             %.3f\n", res.IPC)
+	fmt.Printf("local hit rate  %.1f%%\n", 100*res.LocalHitRate)
+	fmt.Printf("inter-host stall %.2f%% of core time\n", 100*res.InterStallFrac)
+	fmt.Printf("mgmt stall      %.2f%%   transfer stall %.2f%%\n", 100*res.MgmtStallFrac, 100*res.TransferFrac)
+	fmt.Printf("promotions      %d   demotions %d   lines moved %d\n", res.Promotions, res.Demotions, res.LinesMoved)
+	fmt.Printf("footprint       %.1f%% pages, %.1f%% lines (per host avg)\n",
+		100*res.PageFootprintFrac, 100*res.LineFootprintFrac)
+	if res.HarmfulFrac > 0 {
+		fmt.Printf("harmful migs    %.1f%%\n", 100*res.HarmfulFrac)
+	}
+	if res.LocalRemapHitRate > 0 || res.GlobalRemapHitRate > 0 {
+		fmt.Printf("remap caches    local %.1f%%, global %.1f%% hit\n",
+			100*res.LocalRemapHitRate, 100*res.GlobalRemapHitRate)
+	}
+
+	if *compare && k != pipm.Native {
+		nat, err := pipm.Run(cfg, wl, pipm.Native, *records, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("speedup         %.2fx over native (%v)\n", pipm.Speedup(res, nat), nat.ExecTime)
+	}
+}
+
+// runFromTraces replays tracegen -outdir output through the machine.
+func runFromTraces(cfg pipm.Config, k pipm.Scheme, dir string) (pipm.Result, error) {
+	m, err := pipm.NewMachine(cfg, k)
+	if err != nil {
+		return pipm.Result{}, err
+	}
+	var files []*os.File
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for h := 0; h < cfg.Hosts; h++ {
+		for c := 0; c < cfg.CoresPerHost; c++ {
+			name := filepath.Join(dir, fmt.Sprintf("h%dc%d.trc", h, c))
+			f, err := os.Open(name)
+			if err != nil {
+				return pipm.Result{}, err
+			}
+			files = append(files, f)
+			r, err := trace.NewBinaryReader(f)
+			if err != nil {
+				return pipm.Result{}, fmt.Errorf("%s: %w", name, err)
+			}
+			m.SetTrace(h, c, r)
+		}
+	}
+	if err := m.Run(); err != nil {
+		return pipm.Result{}, err
+	}
+	col := m.Stats()
+	return pipm.Result{
+		Scheme:         k,
+		ExecTime:       m.ExecTime(),
+		IPC:            m.IPC(),
+		LocalHitRate:   col.LocalHitRate(),
+		InterStallFrac: col.StallFraction(stats.ClassInterHost),
+		MgmtStallFrac:  col.MgmtFraction(),
+		TransferFrac:   col.TransferFraction(),
+		HarmfulFrac:    m.HarmfulFraction(),
+		Promotions:     col.Promotions,
+		Demotions:      col.Demotions,
+		LinesMoved:     col.LinesMoved,
+		BytesMoved:     col.BytesMoved,
+	}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipmsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command tracegen generates a synthetic workload trace for one core and
+// either writes it in the binary trace format or prints stream statistics.
+// Useful for inspecting what the workload models emit and for feeding the
+// simulator externally captured traces.
+//
+// Usage:
+//
+//	tracegen -workload ycsb -host 1 -core 0 -records 100000 -out ycsb.trc
+//	tracegen -workload pr -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pipm"
+	"pipm/internal/config"
+	"pipm/internal/trace"
+	"pipm/internal/workload"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "pr", "workload name")
+		host    = flag.Int("host", 0, "host the stream belongs to")
+		core    = flag.Int("core", 0, "core within the host")
+		records = flag.Int64("records", 100_000, "records to generate")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "write binary trace to this file")
+		outdir  = flag.String("outdir", "", "write one trace per core (h<h>c<c>.trc) into this directory")
+		stats   = flag.Bool("stats", false, "print stream statistics instead of writing")
+	)
+	flag.Parse()
+
+	wl, err := workload.ByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := pipm.ScaledConfig()
+	am := config.NewAddressMap(&cfg)
+	r := wl.NewReader(am, cfg.Hosts, *host, *core, *records, *seed)
+
+	switch {
+	case *outdir != "":
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fatal(err)
+		}
+		total := int64(0)
+		for h := 0; h < cfg.Hosts; h++ {
+			for c := 0; c < cfg.CoresPerHost; c++ {
+				name := filepath.Join(*outdir, fmt.Sprintf("h%dc%d.trc", h, c))
+				n, err := writeTrace(name, wl.NewReader(am, cfg.Hosts, h, c, *records, *seed))
+				if err != nil {
+					fatal(err)
+				}
+				total += n
+			}
+		}
+		fmt.Printf("wrote %d records across %d trace files to %s\n",
+			total, cfg.Hosts*cfg.CoresPerHost, *outdir)
+	case *stats:
+		s := trace.Collect(r, &am)
+		fmt.Printf("workload      %s (host %d core %d, seed %d)\n", wl.Name, *host, *core, *seed)
+		fmt.Printf("records       %d\n", s.Records)
+		fmt.Printf("instructions  %d\n", s.Instructions)
+		fmt.Printf("reads/writes  %d / %d (%.1f%% writes)\n", s.Reads, s.Writes,
+			100*float64(s.Writes)/float64(s.Records))
+		fmt.Printf("shared refs   %d (%.1f%%)\n", s.SharedRefs,
+			100*float64(s.SharedRefs)/float64(s.Records))
+		fmt.Printf("unique pages  %d\n", s.UniquePages)
+		fmt.Printf("unique lines  %d\n", s.UniqueLines)
+	case *out != "":
+		n, err := writeTrace(*out, r)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d records to %s\n", n, *out)
+	default:
+		fatal(fmt.Errorf("pass -out FILE, -outdir DIR, or -stats"))
+	}
+}
+
+// writeTrace drains r into a binary trace file and returns the record count.
+func writeTrace(name string, r trace.Reader) (int64, error) {
+	f, err := os.Create(name)
+	if err != nil {
+		return 0, err
+	}
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(rec); err != nil {
+			f.Close()
+			return 0, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return w.Count(), f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Graph analytics study: the workloads the paper's introduction motivates —
+// partitioned graph kernels where each host mostly traverses its own slice
+// of the graph but exchanges boundary vertices with neighbours. It compares
+// every placement scheme on two GAP kernels and shows why per-page kernel
+// migration underperforms hardware partial migration on these patterns.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipm"
+)
+
+func main() {
+	cfg := pipm.ScaledConfig()
+	cfg.CoresPerHost = 2
+	const records, seed = 300_000, 7
+
+	schemes := []pipm.Scheme{
+		pipm.Native, pipm.Nomad, pipm.Memtis, pipm.OSSkew, pipm.HWStatic, pipm.PIPM,
+	}
+
+	for _, name := range []string{"pr", "sssp"} {
+		wl, err := pipm.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s: %d%% shared refs, %.0f%% own-partition, run length %.0f lines ==\n",
+			wl.Name, int(100*wl.SharedFrac), 100*wl.OwnFrac, wl.RunLen)
+
+		var native pipm.Result
+		fmt.Printf("%-12s %10s %9s %11s %11s %9s\n",
+			"scheme", "exec", "speedup", "local hits", "inter-host", "migrated")
+		for _, k := range schemes {
+			res, err := pipm.Run(cfg, wl, k, records, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if k == pipm.Native {
+				native = res
+			}
+			migrated := fmt.Sprintf("%d pg", res.Promotions)
+			if k == pipm.PIPM || k == pipm.HWStatic {
+				migrated = fmt.Sprintf("%d ln", res.LinesMoved)
+			}
+			fmt.Printf("%-12v %10v %8.2fx %10.1f%% %10.2f%% %9s\n",
+				k, res.ExecTime, pipm.Speedup(res, native),
+				100*res.LocalHitRate, 100*res.InterStallFrac, migrated)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Takeaway: with strong per-host locality, PIPM absorbs each host's hot")
+	fmt.Println("blocks into local DRAM with no page-table updates or TLB shootdowns;")
+	fmt.Println("page-granularity kernel schemes pay migration management costs and turn")
+	fmt.Println("boundary traffic into 4-hop non-cacheable accesses (take-away #1 of the paper).")
+}

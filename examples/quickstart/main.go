@@ -1,0 +1,44 @@
+// Quickstart: build a 4-host CXL-DSM machine, run one workload under the
+// Native baseline and under PIPM, and print the headline comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipm"
+)
+
+func main() {
+	// The scaled-down Table 2 system: 4 hosts, a pooled CXL heap, 50 ns /
+	// 5 GB/s links. ScaledConfig keeps the paper's ratios at laptop size.
+	cfg := pipm.ScaledConfig()
+	cfg.CoresPerHost = 2
+
+	// PageRank-like graph analytics: strong per-host partition locality,
+	// streaming scans — the pattern partial migration exploits best.
+	wl, err := pipm.WorkloadByName("pr")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const records, seed = 200_000, 1
+	native, err := pipm.Run(cfg, wl, pipm.Native, records, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withPIPM, err := pipm.Run(cfg, wl, pipm.PIPM, records, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (%s suite)\n\n", wl.Name, wl.Suite)
+	fmt.Printf("%-22s %12s %8s %12s\n", "scheme", "exec time", "IPC", "local hits")
+	fmt.Printf("%-22s %12v %8.3f %11.1f%%\n", "native CXL-DSM", native.ExecTime, native.IPC, 100*native.LocalHitRate)
+	fmt.Printf("%-22s %12v %8.3f %11.1f%%\n", "PIPM", withPIPM.ExecTime, withPIPM.IPC, 100*withPIPM.LocalHitRate)
+	fmt.Printf("\nPIPM speedup: %.2fx\n", pipm.Speedup(withPIPM, native))
+	fmt.Printf("partially migrated pages: %d, incrementally migrated lines: %d\n",
+		withPIPM.Promotions, withPIPM.LinesMoved)
+	fmt.Printf("per-host local footprint: %.1f%% of the shared heap at page grain, %.1f%% at line grain\n",
+		100*withPIPM.PageFootprintFrac, 100*withPIPM.LineFootprintFrac)
+}

@@ -1,0 +1,87 @@
+// Sensitivity study: sweep the CXL fabric parameters and PIPM's on-die
+// budgets the way §5.4 does — link latency (Fig. 14), link bandwidth
+// (Fig. 15), and the two remapping cache sizes (Figs. 16–17) — on one
+// latency-sensitive workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipm"
+)
+
+const (
+	records = 200_000
+	seed    = 3
+)
+
+func main() {
+	base := pipm.ScaledConfig()
+	base.CoresPerHost = 2
+	wl, err := pipm.WorkloadByName("cc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== CXL link latency (Fig. 14): PIPM speedup over native ==")
+	for _, lat := range []pipm.Time{50 * pipm.Nanosecond, 100 * pipm.Nanosecond, 200 * pipm.Nanosecond} {
+		cfg := base
+		cfg.CXL.LinkLatency = lat
+		fmt.Printf("  %6v/direction: %.2fx\n", lat, speedup(cfg, wl))
+	}
+
+	fmt.Println("== CXL link bandwidth (Fig. 15): PIPM speedup over native ==")
+	for _, bw := range []float64{2.5e9, 5e9, 10e9} {
+		cfg := base
+		cfg.CXL.LinkBW = bw
+		fmt.Printf("  %4.1f GB/s/direction: %.2fx\n", bw/1e9, speedup(cfg, wl))
+	}
+
+	fmt.Println("== Local remapping cache (Fig. 16): perf vs infinite ==")
+	fmt.Println("   (sizes scaled to the shrunken page count; see DESIGN.md)")
+	ideal := runPIPM(withLocalCache(base, -1), wl)
+	for _, kb := range []int{1, 4, 16} {
+		res := runPIPM(withLocalCache(base, kb<<10), wl)
+		fmt.Printf("  %5d KB: %.3f of ideal (remap hit rate %.1f%%)\n",
+			kb, float64(ideal.ExecTime)/float64(res.ExecTime), 100*res.LocalRemapHitRate)
+	}
+
+	fmt.Println("== Global remapping cache (Fig. 17): perf vs infinite ==")
+	gIdeal := runPIPM(withGlobalCache(base, -1), wl)
+	for _, b := range []int{512, 2048, 8192} {
+		res := runPIPM(withGlobalCache(base, b), wl)
+		fmt.Printf("  %5d B: %.3f of ideal (remap hit rate %.1f%%)\n",
+			b, float64(gIdeal.ExecTime)/float64(res.ExecTime), 100*res.GlobalRemapHitRate)
+	}
+}
+
+func speedup(cfg pipm.Config, wl pipm.Workload) float64 {
+	nat, err := pipm.Run(cfg, wl, pipm.Native, records, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pipm.Run(cfg, wl, pipm.PIPM, records, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return pipm.Speedup(res, nat)
+}
+
+func runPIPM(cfg pipm.Config, wl pipm.Workload) pipm.Result {
+	res, err := pipm.Run(cfg, wl, pipm.PIPM, records, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func withLocalCache(cfg pipm.Config, bytes int) pipm.Config {
+	cfg.PIPM.LocalRemapCacheBytes = bytes
+	return cfg
+}
+
+func withGlobalCache(cfg pipm.Config, bytes int) pipm.Config {
+	cfg.PIPM.GlobalRemapCacheBytes = bytes
+	return cfg
+}

@@ -1,0 +1,3 @@
+module pipm
+
+go 1.22

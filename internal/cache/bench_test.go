@@ -1,0 +1,35 @@
+package cache
+
+import (
+	"testing"
+
+	"pipm/internal/config"
+)
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New("b", config.CacheConfig{SizeBytes: 2 << 20, Ways: 16})
+	c.Fill(42, Shared)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(42)
+	}
+}
+
+func BenchmarkFillEvict(b *testing.B) {
+	c := New("b", config.CacheConfig{SizeBytes: 32 << 10, Ways: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(config.Addr(i), Exclusive)
+	}
+}
+
+func BenchmarkInvalidatePage(b *testing.B) {
+	c := New("b", config.CacheConfig{SizeBytes: 2 << 20, Ways: 16})
+	for l := config.Addr(0); l < config.LinesPerPage; l++ {
+		c.Fill(l, Modified)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.InvalidatePage(0, nil)
+	}
+}

@@ -1,0 +1,256 @@
+// Package cache implements the set-associative caches in each host's
+// hierarchy (per-core L1D, per-host shared LLC) with LRU replacement,
+// write-back/write-allocate semantics, and per-line coherence state. The
+// coherence layer owns state meaning; the cache is just the indexed store.
+// Eviction results are returned to the caller — that return value is the
+// hook PIPM's incremental migration rides on.
+package cache
+
+import (
+	"fmt"
+
+	"pipm/internal/config"
+)
+
+// State is a cache line's coherence state. The values cover MESI within a
+// host plus the PIPM-specific ME state (§4.3.2: Migrated-Modified/Exclusive,
+// held in the local directory for blocks whose backing store is the host's
+// own local DRAM rather than CXL memory).
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+	// MigratedExclusive is PIPM's ME: cached exclusively on this host and
+	// backed by local DRAM (in-memory bit set). Writes do not need a state
+	// change; evictions write back to local DRAM only.
+	MigratedExclusive
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case MigratedExclusive:
+		return "ME"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Dirty reports whether an eviction in this state must write data back.
+func (s State) Dirty() bool { return s == Modified || s == MigratedExclusive }
+
+// Valid reports whether the state holds data.
+func (s State) Valid() bool { return s != Invalid }
+
+type line struct {
+	tag   config.Addr // full line address (tag+index combined; simple and safe)
+	state State
+	lru   uint64
+}
+
+// Eviction describes a line displaced by a fill.
+type Eviction struct {
+	Line  config.Addr // line address of the victim
+	State State       // state at eviction
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Fills      uint64
+	Evictions  uint64
+	Writebacks uint64 // evictions in a dirty state
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	name    string
+	ways    int
+	setMask config.Addr
+	lines   []line // sets*ways, flat
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a cache from its configuration. The set count must be a power
+// of two (config.Validate enforces this).
+func New(name string, cfg config.CacheConfig) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets is not a positive power of two", name, sets))
+	}
+	return &Cache{
+		name:    name,
+		ways:    cfg.Ways,
+		setMask: config.Addr(sets - 1),
+		lines:   make([]line, sets*cfg.Ways),
+	}
+}
+
+func (c *Cache) set(lineAddr config.Addr) []line {
+	idx := int(lineAddr&c.setMask) * c.ways
+	return c.lines[idx : idx+c.ways]
+}
+
+// Lookup probes for lineAddr. On a hit it refreshes LRU and returns the
+// current state; on a miss it returns (Invalid, false).
+func (c *Cache) Lookup(lineAddr config.Addr) (State, bool) {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			c.tick++
+			set[i].lru = c.tick
+			c.stats.Hits++
+			return set[i].state, true
+		}
+	}
+	c.stats.Misses++
+	return Invalid, false
+}
+
+// Peek probes without touching LRU or statistics (directory queries).
+func (c *Cache) Peek(lineAddr config.Addr) (State, bool) {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			return set[i].state, true
+		}
+	}
+	return Invalid, false
+}
+
+// Fill installs lineAddr in state st, returning the eviction it displaced
+// (ok=false when an invalid way was available). Filling a line that is
+// already present just updates its state.
+func (c *Cache) Fill(lineAddr config.Addr, st State) (ev Eviction, evicted bool) {
+	if st == Invalid {
+		panic("cache: Fill with Invalid state")
+	}
+	set := c.set(lineAddr)
+	c.tick++
+	// Already present: state upgrade/downgrade in place.
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			set[i].state = st
+			set[i].lru = c.tick
+			return Eviction{}, false
+		}
+	}
+	// Prefer an invalid way.
+	victim := 0
+	found := false
+	for i := range set {
+		if set[i].state == Invalid {
+			victim, found = i, true
+			break
+		}
+	}
+	if !found {
+		// LRU victim.
+		oldest := set[0].lru
+		for i := 1; i < c.ways; i++ {
+			if set[i].lru < oldest {
+				oldest, victim = set[i].lru, i
+			}
+		}
+		ev = Eviction{Line: set[victim].tag, State: set[victim].state}
+		evicted = true
+		c.stats.Evictions++
+		if ev.State.Dirty() {
+			c.stats.Writebacks++
+		}
+	}
+	set[victim] = line{tag: lineAddr, state: st, lru: c.tick}
+	c.stats.Fills++
+	return ev, evicted
+}
+
+// SetState changes the state of a resident line; it reports whether the
+// line was present.
+func (c *Cache) SetState(lineAddr config.Addr, st State) bool {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			if st == Invalid {
+				set[i] = line{}
+				return true
+			}
+			set[i].state = st
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops lineAddr, returning its state at invalidation so the
+// caller can issue a writeback for dirty data.
+func (c *Cache) Invalidate(lineAddr config.Addr) (State, bool) {
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == lineAddr {
+			st := set[i].state
+			set[i] = line{}
+			return st, true
+		}
+	}
+	return Invalid, false
+}
+
+// InvalidateAll drops every line, invoking fn (when non-nil) for each valid
+// line first. Used for whole-page remap invalidations and test teardown.
+func (c *Cache) InvalidateAll(fn func(config.Addr, State)) {
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			if fn != nil {
+				fn(c.lines[i].tag, c.lines[i].state)
+			}
+			c.lines[i] = line{}
+		}
+	}
+}
+
+// InvalidatePage drops every resident line of the given page, invoking fn
+// for each valid line dropped. Page-granularity migration uses this.
+func (c *Cache) InvalidatePage(page config.Addr, fn func(config.Addr, State)) {
+	base := page << config.PageLineShift
+	for l := config.Addr(0); l < config.LinesPerPage; l++ {
+		lineAddr := base + l
+		set := c.set(lineAddr)
+		for i := range set {
+			if set[i].state != Invalid && set[i].tag == lineAddr {
+				if fn != nil {
+					fn(set[i].tag, set[i].state)
+				}
+				set[i] = line{}
+			}
+		}
+	}
+}
+
+// Occupancy returns the number of valid lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Name returns the cache's diagnostic name.
+func (c *Cache) Name() string { return c.name }

@@ -1,0 +1,11 @@
+package check
+
+import "testing"
+
+func BenchmarkModelCheckPIPM3Hosts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, v := Run(Options{Hosts: 3, PIPM: true}); v != nil {
+			b.Fatal(v)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaseMSIProtocolIsCorrect(t *testing.T) {
+	for _, hosts := range []int{2, 3} {
+		res, v := Run(Options{Hosts: hosts, PIPM: false})
+		if v != nil {
+			t.Fatalf("MSI/%d hosts: %v", hosts, v)
+		}
+		if res.States < 5 {
+			t.Fatalf("MSI/%d hosts: only %d states explored", hosts, res.States)
+		}
+		if !res.DeadlockFree {
+			t.Fatalf("MSI/%d hosts: deadlock reported", hosts)
+		}
+	}
+}
+
+func TestPIPMProtocolIsCorrect(t *testing.T) {
+	for _, hosts := range []int{2, 3} {
+		res, v := Run(Options{Hosts: hosts, PIPM: true})
+		if v != nil {
+			t.Fatalf("PIPM/%d hosts: %v", hosts, v)
+		}
+		if !res.DeadlockFree {
+			t.Fatalf("PIPM/%d hosts: deadlock reported", hosts)
+		}
+		// The PIPM space must strictly contain the MSI space (new states
+		// from ME/I'/ownership).
+		msi, _ := Run(Options{Hosts: hosts, PIPM: false})
+		if res.States <= msi.States {
+			t.Fatalf("PIPM explored %d states, MSI %d — extension added nothing",
+				res.States, msi.States)
+		}
+	}
+}
+
+func TestPIPMReachesMigratedStates(t *testing.T) {
+	// Drive a concrete scenario through the transition function and check
+	// the interesting states are actually exercised: promote → write →
+	// evict (incremental migration, I') → re-read (ME) → inter-host read
+	// (migrate back).
+	m := &model{opt: Options{Hosts: 2, PIPM: true}}
+	s := initialState()
+	step := func(ev Event) {
+		var stale bool
+		s, stale = m.apply(s, ev)
+		if stale {
+			t.Fatalf("stale read at %v", ev)
+		}
+		if rule := m.checkInvariants(s); rule != "" {
+			t.Fatalf("invariant %q broken at %v: %+v", rule, ev, s)
+		}
+	}
+	step(Event{EvPromote, 0})
+	if s.PageOwn != 0 {
+		t.Fatal("promote failed")
+	}
+	step(Event{EvWrite, 0})
+	if s.Cache[0] != M {
+		t.Fatalf("cache[0] = %v, want M", s.Cache[0])
+	}
+	step(Event{EvEvict, 0})
+	if s.BitOwner != 0 || s.Cache[0] != I || !s.LocalUTD {
+		t.Fatalf("incremental migration failed: %+v", s)
+	}
+	step(Event{EvRead, 0})
+	if s.Cache[0] != ME {
+		t.Fatalf("I' re-read gave %v, want ME", s.Cache[0])
+	}
+	step(Event{EvRead, 1})
+	if s.BitOwner != none {
+		t.Fatalf("inter-host read did not migrate back: %+v", s)
+	}
+	if s.Cache[0] != S || s.Cache[1] != S {
+		t.Fatalf("case ⑥ should leave both hosts in S: %+v", s)
+	}
+	if !s.CXLUTD {
+		t.Fatal("migrate-back did not update CXL memory")
+	}
+}
+
+func TestPIPMCase2PureIPrime(t *testing.T) {
+	m := &model{opt: Options{Hosts: 2, PIPM: true}}
+	s := initialState()
+	for _, ev := range []Event{{EvPromote, 0}, {EvWrite, 0}, {EvEvict, 0}} {
+		s, _ = m.apply(s, ev)
+	}
+	// Line is I' at host 0 (not cached). Host 1 reads: case ② — requester
+	// fills M, bit clears, CXL updated.
+	s2, stale := m.apply(s, Event{EvRead, 1})
+	if stale {
+		t.Fatal("case ② returned stale data")
+	}
+	if s2.Cache[1] != M || s2.BitOwner != none || !s2.CXLUTD {
+		t.Fatalf("case ② end state: %+v", s2)
+	}
+}
+
+func TestPIPMCase5InterWriteInvalidatesME(t *testing.T) {
+	m := &model{opt: Options{Hosts: 2, PIPM: true}}
+	s := initialState()
+	for _, ev := range []Event{{EvPromote, 0}, {EvWrite, 0}, {EvEvict, 0}, {EvRead, 0}} {
+		s, _ = m.apply(s, ev)
+	}
+	if s.Cache[0] != ME {
+		t.Fatalf("setup failed: %+v", s)
+	}
+	s2, stale := m.apply(s, Event{EvWrite, 1})
+	if stale {
+		t.Fatal("case ⑤ read stale data")
+	}
+	if s2.Cache[0] != I || s2.Cache[1] != M || s2.BitOwner != none {
+		t.Fatalf("case ⑤ end state: %+v", s2)
+	}
+	if !s2.CacheUTD[1] || s2.CXLUTD || s2.LocalUTD {
+		t.Fatalf("after inter-write, only the writer may be latest: %+v", s2)
+	}
+}
+
+func TestRevokeRestoresCXLBacking(t *testing.T) {
+	m := &model{opt: Options{Hosts: 2, PIPM: true}}
+	s := initialState()
+	for _, ev := range []Event{{EvPromote, 0}, {EvWrite, 0}, {EvEvict, 0}} {
+		s, _ = m.apply(s, ev)
+	}
+	s2, _ := m.apply(s, Event{EvRevoke, 0})
+	if s2.PageOwn != none || s2.BitOwner != none {
+		t.Fatalf("revoke left ownership: %+v", s2)
+	}
+	if !s2.CXLUTD {
+		t.Fatal("revoke lost the latest value")
+	}
+	// Reading from CXL afterwards must be fresh.
+	s3, stale := m.apply(s2, Event{EvRead, 1})
+	if stale || s3.Cache[1] != S {
+		t.Fatalf("post-revoke read: stale=%v state=%+v", stale, s3)
+	}
+}
+
+func TestCheckerDetectsInvariantViolations(t *testing.T) {
+	m := &model{opt: Options{Hosts: 2, PIPM: true}}
+	cases := []struct {
+		name string
+		st   State
+		want string
+	}{
+		{"two writers", State{Cache: [3]CacheState{M, M, I}, CacheUTD: [3]bool{true, true, false}, BitOwner: none, PageOwn: none}, "SWMR"},
+		{"writer+reader", State{Cache: [3]CacheState{M, S, I}, CacheUTD: [3]bool{true, true, false}, BitOwner: none, PageOwn: none}, "SWMR"},
+		{"stale owner", State{Cache: [3]CacheState{M, I, I}, BitOwner: none, PageOwn: none, CXLUTD: true}, "owner-holds-latest"},
+		{"stale sharer", State{Cache: [3]CacheState{S, I, I}, BitOwner: none, PageOwn: none, CXLUTD: true}, "sharers-clean"},
+		{"orphan ME", State{Cache: [3]CacheState{ME, I, I}, CacheUTD: [3]bool{true}, BitOwner: none, PageOwn: none}, "ME-implies-migrated-here"},
+		{"bit outside page", State{BitOwner: 0, PageOwn: 1, CXLUTD: true}, "bit-consistency"},
+		{"value lost", State{BitOwner: none, PageOwn: none}, "value-lost"},
+	}
+	for _, c := range cases {
+		rule := m.checkInvariants(c.st)
+		if !strings.Contains(rule, strings.Split(c.want, ":")[0]) {
+			t.Errorf("%s: got rule %q, want %q", c.name, rule, c.want)
+		}
+	}
+}
+
+// A deliberately broken protocol variant must be caught: skipping sharer
+// invalidation on write upgrade leaves stale S copies that a later read
+// observes. We emulate the bug by hand-driving the transition system.
+func TestCheckerWouldCatchMissingInvalidation(t *testing.T) {
+	m := &model{opt: Options{Hosts: 2, PIPM: false}}
+	s := initialState()
+	s, _ = m.apply(s, Event{EvRead, 0})
+	s, _ = m.apply(s, Event{EvRead, 1}) // both S
+	// Buggy upgrade: host 0 takes M without invalidating host 1.
+	s.Cache[0] = M
+	for g := range s.CacheUTD {
+		s.CacheUTD[g] = false
+	}
+	s.CacheUTD[0] = true
+	s.CXLUTD = false
+	// Host 1 still thinks it has a valid S copy.
+	if rule := m.checkInvariants(s); !strings.Contains(rule, "SWMR") && !strings.Contains(rule, "sharers-clean") {
+		t.Fatalf("broken state not detected: rule=%q state=%+v", rule, s)
+	}
+	// And the read itself would be stale.
+	if _, stale := m.read(s, 1); !stale {
+		t.Fatal("stale sharer read not flagged")
+	}
+}
+
+func TestEventAndStateStrings(t *testing.T) {
+	if ME.String() != "ME" || I.String() != "I" {
+		t.Fatal("CacheState strings wrong")
+	}
+	e := Event{EvWrite, 1}
+	if e.String() != "Write(h1)" {
+		t.Fatalf("Event.String = %q", e.String())
+	}
+	v := &Violation{Rule: "x", Path: []Event{e}}
+	if !strings.Contains(v.Error(), "x") {
+		t.Fatal("Violation.Error missing rule")
+	}
+}
+
+func TestRunPanicsOnBadHosts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for Hosts=4")
+		}
+	}()
+	Run(Options{Hosts: 4})
+}
+
+func TestStateSpaceSizes(t *testing.T) {
+	// Regression pin: exploration must terminate at a stable, finite size.
+	msi2, _ := Run(Options{Hosts: 2, PIPM: false})
+	pipm2, _ := Run(Options{Hosts: 2, PIPM: true})
+	pipm3, _ := Run(Options{Hosts: 3, PIPM: true})
+	t.Logf("states: msi2=%d pipm2=%d pipm3=%d", msi2.States, pipm2.States, pipm3.States)
+	if msi2.States == 0 || pipm2.States == 0 || pipm3.States == 0 {
+		t.Fatal("empty exploration")
+	}
+	if pipm3.States <= pipm2.States {
+		t.Fatal("3-host space not larger than 2-host")
+	}
+}

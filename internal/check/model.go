@@ -1,0 +1,396 @@
+// Package check is an explicit-state model checker for the PIPM coherence
+// protocol, reproducing the paper's Murφ verification (§5.1.4): exhaustive
+// enumeration of a small protocol instance proving the Single-Writer
+// Multiple-Reader invariant, per-location sequential consistency (every
+// read returns the latest write), and absence of stuck states.
+//
+// The model is one cache line shared by N hosts. Each protocol request is
+// atomic (the paper's implementation serializes request handling with a
+// lock-based scheme, so atomic transitions are faithful). Versions are
+// abstracted to one bit per storage location — "holds the latest value" —
+// which bounds the state space while preserving exactly the property SC
+// per location needs.
+package check
+
+import "fmt"
+
+// CacheState is a host's state for the modelled line (MSI + PIPM's ME).
+type CacheState uint8
+
+const (
+	I CacheState = iota
+	S
+	M
+	ME
+)
+
+func (c CacheState) String() string {
+	return [...]string{"I", "S", "M", "ME"}[c]
+}
+
+// none marks "no host" in owner fields.
+const none = -1
+
+// State is one global protocol state.
+type State struct {
+	Cache    [3]CacheState // per-host cache state (unused slots stay I)
+	CacheUTD [3]bool       // cache copy holds the latest version
+	CXLUTD   bool          // CXL memory holds the latest version
+	LocalUTD bool          // the bit-owner's local memory holds the latest
+	BitOwner int8          // host whose local DRAM holds the line (I'), or none
+	PageOwn  int8          // host the page is partially migrated to, or none
+}
+
+func initialState() State {
+	return State{CXLUTD: true, BitOwner: none, PageOwn: none}
+}
+
+// Event is a protocol stimulus.
+type Event struct {
+	Kind EventKind
+	Host int
+}
+
+// EventKind enumerates stimuli.
+type EventKind uint8
+
+const (
+	EvRead EventKind = iota
+	EvWrite
+	EvEvict
+	EvPromote
+	EvRevoke
+)
+
+func (k EventKind) String() string {
+	return [...]string{"Read", "Write", "Evict", "Promote", "Revoke"}[k]
+}
+
+func (e Event) String() string { return fmt.Sprintf("%v(h%d)", e.Kind, e.Host) }
+
+// Violation describes an invariant failure with its witness path.
+type Violation struct {
+	Rule  string
+	State State
+	Path  []Event
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("check: %s violated after %v (state %+v)", v.Rule, v.Path, v.State)
+}
+
+// Options selects the protocol variant and instance size.
+type Options struct {
+	Hosts int  // 2 or 3
+	PIPM  bool // false = base MSI over CXL-DSM only (no migration events)
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	States      int
+	Transitions int
+	// DeadlockFree is true when every reachable state has at least one
+	// enabled event (always true here — reads are always enabled — but
+	// reported for parity with the Murφ run).
+	DeadlockFree bool
+}
+
+// Run exhaustively explores the protocol and returns the first invariant
+// violation, if any.
+func Run(opt Options) (Result, *Violation) {
+	if opt.Hosts < 2 || opt.Hosts > 3 {
+		panic("check: Hosts must be 2 or 3")
+	}
+	m := &model{opt: opt}
+	return m.run()
+}
+
+type model struct {
+	opt Options
+}
+
+type node struct {
+	state  State
+	parent int
+	via    Event
+}
+
+func (m *model) run() (Result, *Violation) {
+	start := initialState()
+	seen := map[State]struct{}{start: {}}
+	nodes := []node{{state: start, parent: -1}}
+	res := Result{DeadlockFree: true}
+
+	for i := 0; i < len(nodes); i++ {
+		cur := nodes[i].state
+		if rule := m.checkInvariants(cur); rule != "" {
+			return res, m.violation(nodes, i, rule)
+		}
+		events := m.enabled(cur)
+		if len(events) == 0 {
+			res.DeadlockFree = false
+			return res, m.violation(nodes, i, "deadlock: no enabled event")
+		}
+		for _, ev := range events {
+			next, staleRead := m.apply(cur, ev)
+			res.Transitions++
+			if staleRead {
+				v := m.violation(nodes, i, "SC-per-location: read returned a stale value")
+				v.Path = append(v.Path, ev)
+				v.State = next
+				return res, v
+			}
+			if _, ok := seen[next]; !ok {
+				seen[next] = struct{}{}
+				nodes = append(nodes, node{state: next, parent: i, via: ev})
+			}
+		}
+	}
+	res.States = len(nodes)
+	return res, nil
+}
+
+func (m *model) violation(nodes []node, i int, rule string) *Violation {
+	var path []Event
+	for j := i; nodes[j].parent != -1; j = nodes[j].parent {
+		path = append([]Event{nodes[j].via}, path...)
+	}
+	return &Violation{Rule: rule, State: nodes[i].state, Path: path}
+}
+
+// checkInvariants returns the violated rule's name, or "".
+func (m *model) checkInvariants(s State) string {
+	writers, sharers := 0, 0
+	for h := 0; h < m.opt.Hosts; h++ {
+		switch s.Cache[h] {
+		case M, ME:
+			writers++
+			if !s.CacheUTD[h] {
+				return "owner-holds-latest: M/ME copy is stale"
+			}
+		case S:
+			sharers++
+			if !s.CacheUTD[h] {
+				return "sharers-clean: S copy is stale"
+			}
+		}
+		if s.Cache[h] == ME && (int(s.BitOwner) != h || int(s.PageOwn) != h) {
+			return "ME-implies-migrated-here"
+		}
+	}
+	if writers > 1 {
+		return "SWMR: two writers"
+	}
+	if writers == 1 && sharers > 0 {
+		return "SWMR: writer coexists with readers"
+	}
+	if s.BitOwner != none && s.BitOwner != s.PageOwn {
+		return "bit-consistency: in-memory bit outside the owning page"
+	}
+	// Liveness of the value: someone must hold the latest version.
+	anyUTD := s.CXLUTD || (s.BitOwner != none && s.LocalUTD)
+	for h := 0; h < m.opt.Hosts; h++ {
+		if s.Cache[h] != I && s.CacheUTD[h] {
+			anyUTD = true
+		}
+	}
+	if !anyUTD {
+		return "value-lost: no location holds the latest version"
+	}
+	return ""
+}
+
+// enabled lists the stimuli applicable in s.
+func (m *model) enabled(s State) []Event {
+	var evs []Event
+	for h := 0; h < m.opt.Hosts; h++ {
+		evs = append(evs, Event{EvRead, h}, Event{EvWrite, h})
+		if s.Cache[h] != I {
+			evs = append(evs, Event{EvEvict, h})
+		}
+	}
+	if m.opt.PIPM {
+		if s.PageOwn == none {
+			for h := 0; h < m.opt.Hosts; h++ {
+				evs = append(evs, Event{EvPromote, h})
+			}
+		} else {
+			evs = append(evs, Event{EvRevoke, int(s.PageOwn)})
+		}
+	}
+	return evs
+}
+
+// apply executes one event atomically, returning the successor and whether
+// a read observed a stale value.
+func (m *model) apply(s State, ev Event) (State, bool) {
+	h := ev.Host
+	switch ev.Kind {
+	case EvRead:
+		return m.read(s, h)
+	case EvWrite:
+		return m.write(s, h)
+	case EvEvict:
+		return m.evict(s, h), false
+	case EvPromote:
+		s.PageOwn = int8(h)
+		return s, false
+	case EvRevoke:
+		return m.revoke(s, h), false
+	}
+	panic("check: unknown event")
+}
+
+func (m *model) read(s State, h int) (State, bool) {
+	switch s.Cache[h] {
+	case S, M, ME:
+		return s, !s.CacheUTD[h] // cache hit
+	}
+	// Miss paths.
+	switch {
+	case int(s.BitOwner) == h:
+		// Case ③: I' → ME, served from local memory.
+		stale := !s.LocalUTD
+		s.Cache[h] = ME
+		s.CacheUTD[h] = s.LocalUTD
+		return s, stale
+	case s.BitOwner != none:
+		// Inter-host read of a migrated line.
+		g := int(s.BitOwner)
+		if s.Cache[g] == ME {
+			// Case ⑥: owner downgrades ME→S, line migrates back, both
+			// hosts share; CXL updated by the writeback.
+			stale := !s.CacheUTD[g]
+			s.Cache[g] = S
+			s.Cache[h] = S
+			s.CacheUTD[h] = s.CacheUTD[g]
+			s.CXLUTD = s.CacheUTD[g]
+			s.BitOwner = none
+			return s, stale
+		}
+		// Case ②: pure I' — fetch from owner's local memory, write back to
+		// CXL, requester caches in M (exclusive fill per the paper).
+		stale := !s.LocalUTD
+		s.CXLUTD = s.LocalUTD
+		s.Cache[h] = M
+		s.CacheUTD[h] = s.LocalUTD
+		s.BitOwner = none
+		return s, stale
+	}
+	// Plain CXL-DSM MSI read.
+	for g := 0; g < m.opt.Hosts; g++ {
+		if g != h && s.Cache[g] == M {
+			// Owner forwards and downgrades; CXL updated.
+			stale := !s.CacheUTD[g]
+			s.Cache[g] = S
+			s.CXLUTD = s.CacheUTD[g]
+			s.Cache[h] = S
+			s.CacheUTD[h] = s.CacheUTD[g]
+			return s, stale
+		}
+	}
+	stale := !s.CXLUTD
+	s.Cache[h] = S
+	s.CacheUTD[h] = s.CXLUTD
+	return s, stale
+}
+
+func (m *model) write(s State, h int) (State, bool) {
+	stale := false
+	switch s.Cache[h] {
+	case M, ME:
+		// Write hit with ownership.
+	case S:
+		// Upgrade: invalidate all other sharers.
+		for g := 0; g < m.opt.Hosts; g++ {
+			if g != h && s.Cache[g] == S {
+				s.Cache[g] = I
+				s.CacheUTD[g] = false
+			}
+		}
+		s.Cache[h] = M
+	case I:
+		switch {
+		case int(s.BitOwner) == h:
+			// Case ③ then write: fill from local memory into ME.
+			stale = !s.LocalUTD
+			s.Cache[h] = ME
+		case s.BitOwner != none:
+			// Cases ②/⑤: pull the migrated line back, invalidating the
+			// owner's copy; requester takes M.
+			g := int(s.BitOwner)
+			if s.Cache[g] == ME {
+				stale = !s.CacheUTD[g]
+				s.Cache[g] = I
+				s.CacheUTD[g] = false
+			} else {
+				stale = !s.LocalUTD
+			}
+			s.CXLUTD = true // migrate-back writeback (pre-write value)
+			s.BitOwner = none
+			s.Cache[h] = M
+		default:
+			// MSI write miss: invalidate every copy, take M.
+			for g := 0; g < m.opt.Hosts; g++ {
+				if g == h {
+					continue
+				}
+				if s.Cache[g] == M {
+					stale = stale || !s.CacheUTD[g]
+				}
+				s.Cache[g] = I
+				s.CacheUTD[g] = false
+			}
+			s.Cache[h] = M
+		}
+	}
+	// The write makes h's copy the unique latest version.
+	for g := range s.CacheUTD {
+		s.CacheUTD[g] = false
+	}
+	s.CacheUTD[h] = true
+	s.CXLUTD = false
+	s.LocalUTD = false
+	return s, stale
+}
+
+func (m *model) evict(s State, h int) State {
+	switch s.Cache[h] {
+	case S:
+		s.Cache[h] = I
+		s.CacheUTD[h] = false
+	case M:
+		if m.opt.PIPM && int(s.PageOwn) == h {
+			// Case ①: incremental migration — the writeback lands in local
+			// memory and the in-memory bits flip (M → I').
+			s.LocalUTD = s.CacheUTD[h]
+			s.BitOwner = int8(h)
+		} else {
+			s.CXLUTD = s.CacheUTD[h]
+		}
+		s.Cache[h] = I
+		s.CacheUTD[h] = false
+	case ME:
+		// Case ④: ME → I', dirty data back to local memory only.
+		s.LocalUTD = s.CacheUTD[h]
+		s.Cache[h] = I
+		s.CacheUTD[h] = false
+	}
+	return s
+}
+
+func (m *model) revoke(s State, h int) State {
+	// §4.2 ⑥: migrated blocks return to CXL memory, the local entry is
+	// dropped and the page is unowned again.
+	if int(s.BitOwner) == h {
+		s.CXLUTD = s.LocalUTD
+		s.LocalUTD = false
+		s.BitOwner = none
+	}
+	if s.Cache[h] == ME {
+		// A cached migrated block becomes an ordinary dirty CXL block.
+		s.Cache[h] = M
+	}
+	s.PageOwn = none
+	return s
+}

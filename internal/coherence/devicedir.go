@@ -1,0 +1,242 @@
+// Package coherence implements the directory state of the multi-host
+// CXL-DSM protocol (§2.2 of the paper): the device coherence directory on
+// the CXL memory node, which tracks — per CXL-memory cache line resident in
+// any processor's cache — the coherence state and the set of caching hosts.
+//
+// The PIPM I' state ("migrated to a host's local memory, not cached") is
+// deliberately NOT stored here: the paper encodes it as directory-Invalid
+// plus the per-line in-memory bit (held by internal/core), which is also why
+// PIPM *reduces* device-directory pressure — migrated lines need no entry.
+package coherence
+
+import (
+	"fmt"
+
+	"pipm/internal/config"
+)
+
+// DirState is a device-directory entry's state at host granularity.
+type DirState uint8
+
+const (
+	// DirInvalid: no host caches the line (no entry).
+	DirInvalid DirState = iota
+	// DirShared: one or more hosts hold clean copies; CXL memory is valid.
+	DirShared
+	// DirModified: exactly one host holds the latest (dirty) copy.
+	DirModified
+)
+
+func (s DirState) String() string {
+	switch s {
+	case DirInvalid:
+		return "I"
+	case DirShared:
+		return "S"
+	default:
+		return "M"
+	}
+}
+
+// Entry is one directory entry's visible content.
+type Entry struct {
+	State   DirState
+	Sharers uint32 // bitmask of caching hosts (valid in S)
+	Owner   int8   // owning host (valid in M)
+}
+
+type dirLine struct {
+	tag   config.Addr
+	valid bool
+	lru   uint64
+	entry Entry
+}
+
+// BackInvalidation reports a line displaced from the directory for capacity;
+// the protocol must invalidate (and for M, write back) the hosts' copies.
+type BackInvalidation struct {
+	Line  config.Addr
+	Entry Entry
+}
+
+// Stats counts directory events.
+type Stats struct {
+	Lookups    uint64
+	HitS       uint64
+	HitM       uint64
+	MissI      uint64
+	Installs   uint64
+	BackInvals uint64
+}
+
+// DeviceDir is the sliced, set-associative device coherence directory.
+// Geometry comes from Table 2: Sets × Ways per slice, Slices slices; lines
+// hash to a slice then index a set within it.
+type DeviceDir struct {
+	sets, ways, slices int
+	lines              []dirLine // slices*sets*ways
+	tick               uint64
+	stats              Stats
+}
+
+// NewDeviceDir builds the directory from CXL configuration.
+func NewDeviceDir(cfg config.CXLConfig) *DeviceDir {
+	if cfg.DirSets <= 0 || cfg.DirSets&(cfg.DirSets-1) != 0 {
+		panic(fmt.Sprintf("coherence: %d directory sets is not a power of two", cfg.DirSets))
+	}
+	return &DeviceDir{
+		sets:   cfg.DirSets,
+		ways:   cfg.DirWays,
+		slices: cfg.DirSlices,
+		lines:  make([]dirLine, cfg.DirSets*cfg.DirWays*cfg.DirSlices),
+	}
+}
+
+// Capacity returns the number of entries the directory can hold.
+func (d *DeviceDir) Capacity() int { return d.sets * d.ways * d.slices }
+
+func (d *DeviceDir) setFor(line config.Addr) []dirLine {
+	slice := int(line) % d.slices
+	set := int(line/config.Addr(d.slices)) & (d.sets - 1)
+	idx := (slice*d.sets + set) * d.ways
+	return d.lines[idx : idx+d.ways]
+}
+
+// Lookup returns the entry for line, if present. It does not refresh LRU;
+// use Touch after deciding the request will use the entry.
+func (d *DeviceDir) Lookup(line config.Addr) (Entry, bool) {
+	d.stats.Lookups++
+	set := d.setFor(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			switch set[i].entry.State {
+			case DirShared:
+				d.stats.HitS++
+			case DirModified:
+				d.stats.HitM++
+			}
+			return set[i].entry, true
+		}
+	}
+	d.stats.MissI++
+	return Entry{}, false
+}
+
+// Update installs or replaces the entry for line, returning a capacity
+// back-invalidation if a victim in use had to be displaced. Passing an
+// entry with State == DirInvalid removes the line's entry instead.
+func (d *DeviceDir) Update(line config.Addr, e Entry) (BackInvalidation, bool) {
+	set := d.setFor(line)
+	d.tick++
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			if e.State == DirInvalid {
+				set[i] = dirLine{}
+				return BackInvalidation{}, false
+			}
+			set[i].entry = e
+			set[i].lru = d.tick
+			return BackInvalidation{}, false
+		}
+	}
+	if e.State == DirInvalid {
+		return BackInvalidation{}, false
+	}
+	victim, found := 0, false
+	for i := range set {
+		if !set[i].valid {
+			victim, found = i, true
+			break
+		}
+	}
+	var bi BackInvalidation
+	evicted := false
+	if !found {
+		oldest := set[0].lru
+		for i := 1; i < d.ways; i++ {
+			if set[i].lru < oldest {
+				oldest, victim = set[i].lru, i
+			}
+		}
+		bi = BackInvalidation{Line: set[victim].tag, Entry: set[victim].entry}
+		evicted = true
+		d.stats.BackInvals++
+	}
+	set[victim] = dirLine{tag: line, valid: true, lru: d.tick, entry: e}
+	d.stats.Installs++
+	return bi, evicted
+}
+
+// Remove drops line's entry (eviction notifications from hosts), returning
+// the entry it held.
+func (d *DeviceDir) Remove(line config.Addr) (Entry, bool) {
+	set := d.setFor(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			e := set[i].entry
+			set[i] = dirLine{}
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// RemoveSharer clears host h from line's sharer set, dropping the entry when
+// the set empties. It reports whether an entry remains.
+func (d *DeviceDir) RemoveSharer(line config.Addr, h int) bool {
+	set := d.setFor(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			e := &set[i].entry
+			switch e.State {
+			case DirShared:
+				e.Sharers &^= 1 << uint(h)
+				if e.Sharers == 0 {
+					set[i] = dirLine{}
+					return false
+				}
+			case DirModified:
+				if int(e.Owner) == h {
+					set[i] = dirLine{}
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid entries.
+func (d *DeviceDir) Occupancy() int {
+	n := 0
+	for i := range d.lines {
+		if d.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns accumulated counters.
+func (d *DeviceDir) Stats() Stats { return d.stats }
+
+// SharerCount returns the number of hosts in a sharer mask.
+func SharerCount(mask uint32) int {
+	n := 0
+	for mask != 0 {
+		mask &= mask - 1
+		n++
+	}
+	return n
+}
+
+// ForEachSharer invokes fn for each host set in mask.
+func ForEachSharer(mask uint32, fn func(host int)) {
+	for h := 0; mask != 0; h++ {
+		if mask&1 != 0 {
+			fn(h)
+		}
+		mask >>= 1
+	}
+}

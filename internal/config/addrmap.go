@@ -1,0 +1,126 @@
+package config
+
+import "fmt"
+
+// Addr is a unified physical address in the multi-host system's global
+// address space (the CXL 3.1 GIM view): each host's exposed local memory and
+// the CXL-DSM pool occupy disjoint ranges.
+type Addr uint64
+
+// Line returns the cache-line index of a.
+func (a Addr) Line() Addr { return a >> LineShift }
+
+// Page returns the page frame number of a.
+func (a Addr) Page() Addr { return a >> PageShift }
+
+// LineInPage returns the index (0..63) of a's cache line within its page.
+func (a Addr) LineInPage() int { return int(a>>LineShift) & (LinesPerPage - 1) }
+
+// PageBase returns the address of the first byte of a's page.
+func (a Addr) PageBase() Addr { return a &^ (PageBytes - 1) }
+
+// LineBase returns the address of the first byte of a's cache line.
+func (a Addr) LineBase() Addr { return a &^ (LineBytes - 1) }
+
+// AddressMap fixes the unified physical address layout:
+//
+//	[0, Hosts×privStride)           per-host private/local windows
+//	[sharedBase, sharedBase+shared) the CXL-DSM pool
+//
+// The processor's PA range check in §4.3 ("Interaction with remapping
+// tables") is exactly Region(): accesses that fall in the CXL-DSM range are
+// shared-data accesses and may consult remapping tables; everything else is
+// private local data and bypasses PIPM entirely.
+type AddressMap struct {
+	hosts       int
+	privStride  Addr
+	sharedBase  Addr
+	sharedBytes Addr
+}
+
+// NewAddressMap builds the layout for a configuration.
+func NewAddressMap(c *Config) AddressMap {
+	stride := Addr(c.LocalDRAM.CapacityBytes)
+	base := stride * Addr(c.Hosts)
+	// Align the shared base to a 1 GB boundary for readable addresses.
+	const gb = 1 << 30
+	base = (base + gb - 1) &^ (gb - 1)
+	return AddressMap{
+		hosts:       c.Hosts,
+		privStride:  stride,
+		sharedBase:  base,
+		sharedBytes: Addr(c.SharedBytes),
+	}
+}
+
+// RegionKind classifies an address.
+type RegionKind uint8
+
+const (
+	// RegionPrivate is a host's own local memory (code, stacks, kernel).
+	RegionPrivate RegionKind = iota
+	// RegionShared is the CXL-DSM pool.
+	RegionShared
+	// RegionInvalid is outside every mapped range.
+	RegionInvalid
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case RegionPrivate:
+		return "private"
+	case RegionShared:
+		return "shared"
+	default:
+		return "invalid"
+	}
+}
+
+// Region classifies a and, for private addresses, identifies the owning host.
+func (m AddressMap) Region(a Addr) (RegionKind, int) {
+	if a < m.privStride*Addr(m.hosts) {
+		return RegionPrivate, int(a / m.privStride)
+	}
+	if a >= m.sharedBase && a < m.sharedBase+m.sharedBytes {
+		return RegionShared, -1
+	}
+	return RegionInvalid, -1
+}
+
+// SharedBase returns the first address of the CXL-DSM pool.
+func (m AddressMap) SharedBase() Addr { return m.sharedBase }
+
+// SharedBytes returns the size of the CXL-DSM pool in bytes.
+func (m AddressMap) SharedBytes() Addr { return m.sharedBytes }
+
+// SharedPages returns the number of pages in the CXL-DSM pool.
+func (m AddressMap) SharedPages() int64 {
+	return int64((m.sharedBytes + PageBytes - 1) / PageBytes)
+}
+
+// SharedAddr returns the address of byte off within the shared pool.
+// It panics when off is out of range: generators computing shared addresses
+// out of range is always a bug worth failing loudly on.
+func (m AddressMap) SharedAddr(off Addr) Addr {
+	if off >= m.sharedBytes {
+		panic(fmt.Sprintf("config: shared offset %#x out of range (%#x)", uint64(off), uint64(m.sharedBytes)))
+	}
+	return m.sharedBase + off
+}
+
+// SharedPageIndex converts a shared address to a zero-based page index within
+// the pool. The address must be in the shared region.
+func (m AddressMap) SharedPageIndex(a Addr) int64 {
+	return int64((a - m.sharedBase) >> PageShift)
+}
+
+// PrivateAddr returns the address of byte off within host h's private window.
+func (m AddressMap) PrivateAddr(h int, off Addr) Addr {
+	if h < 0 || h >= m.hosts {
+		panic(fmt.Sprintf("config: host %d out of range (%d hosts)", h, m.hosts))
+	}
+	if off >= m.privStride {
+		panic(fmt.Sprintf("config: private offset %#x out of range (%#x)", uint64(off), uint64(m.privStride)))
+	}
+	return Addr(h)*m.privStride + off
+}

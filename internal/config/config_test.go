@@ -1,0 +1,215 @@
+package config
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipm/internal/sim"
+)
+
+func TestDefaultIsValid(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+}
+
+func TestDefaultMatchesTable2(t *testing.T) {
+	c := Default()
+	// Spot-check the Table 2 values the rest of the system depends on.
+	if c.Hosts != 4 || c.CoresPerHost != 4 {
+		t.Errorf("hosts×cores = %d×%d, want 4×4", c.Hosts, c.CoresPerHost)
+	}
+	if c.Width != 6 || c.ROB != 224 || c.LoadQ != 72 || c.StoreQ != 56 {
+		t.Errorf("core = %d-wide/%d ROB/%d LQ/%d SQ", c.Width, c.ROB, c.LoadQ, c.StoreQ)
+	}
+	if c.L1D.SizeBytes != 32<<10 || c.L1D.Ways != 8 {
+		t.Errorf("L1D = %dB %d-way", c.L1D.SizeBytes, c.L1D.Ways)
+	}
+	if got := c.CoreClock().ToCycles(c.L1D.Latency); got != 4 {
+		t.Errorf("L1 latency = %d cycles, want 4", got)
+	}
+	if got := c.CoreClock().ToCycles(c.LLC.Latency); got != 24 {
+		t.Errorf("LLC latency = %d cycles, want 24", got)
+	}
+	if c.CXL.LinkLatency != 50*sim.Nanosecond || c.CXL.LinkBW != 5e9 {
+		t.Errorf("CXL link = %v/%.0f", c.CXL.LinkLatency, c.CXL.LinkBW)
+	}
+	if c.CXL.DirSets != 2048 || c.CXL.DirWays != 16 || c.CXL.DirSlices != 16 {
+		t.Errorf("device dir = %d set %d way %d slices", c.CXL.DirSets, c.CXL.DirWays, c.CXL.DirSlices)
+	}
+	if c.PIPM.MigrationThreshold != 8 {
+		t.Errorf("threshold = %d, want 8", c.PIPM.MigrationThreshold)
+	}
+	if c.PIPM.GlobalRemapCacheBytes != 16<<10 || c.PIPM.LocalRemapCacheBytes != 1<<20 {
+		t.Errorf("remap caches = %d/%d", c.PIPM.GlobalRemapCacheBytes, c.PIPM.LocalRemapCacheBytes)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero hosts", func(c *Config) { c.Hosts = 0 }},
+		{"too many hosts", func(c *Config) { c.Hosts = 33 }},
+		{"zero cores", func(c *Config) { c.CoresPerHost = 0 }},
+		{"zero width", func(c *Config) { c.Width = 0 }},
+		{"zero rob", func(c *Config) { c.ROB = 0 }},
+		{"tiny shared", func(c *Config) { c.SharedBytes = 100 }},
+		{"shared exceeds pool", func(c *Config) { c.SharedBytes = c.CXLDRAM.CapacityBytes + 1 }},
+		{"bad l1 ways", func(c *Config) { c.L1D.Ways = 0 }},
+		{"non-pow2 sets", func(c *Config) { c.LLC.SizeBytes = 3 << 20 }},
+		{"zero channels", func(c *Config) { c.LocalDRAM.Channels = 0 }},
+		{"zero link bw", func(c *Config) { c.CXL.LinkBW = 0 }},
+		{"negative switch hops", func(c *Config) { c.CXL.SwitchHops = -1 }},
+		{"zero batch", func(c *Config) { c.Kernel.BatchPages = 0 }},
+		{"threshold too big", func(c *Config) { c.PIPM.MigrationThreshold = 64 }},
+	}
+	for _, m := range mutations {
+		c := Default()
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken config", m.name)
+		}
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	c := CacheConfig{SizeBytes: 32 << 10, Ways: 8}
+	if got := c.Sets(); got != 64 {
+		t.Fatalf("32KB 8-way: Sets() = %d, want 64", got)
+	}
+	llc := CacheConfig{SizeBytes: 2 << 20, Ways: 16}
+	if got := llc.Sets(); got != 2048 {
+		t.Fatalf("2MB 16-way: Sets() = %d, want 2048", got)
+	}
+}
+
+func TestRemapCacheEntries(t *testing.T) {
+	c := Default()
+	if got := c.GlobalRemapCacheEntries(); got != (16<<10)/2 {
+		t.Fatalf("global entries = %d, want %d", got, (16<<10)/2)
+	}
+	if got := c.LocalRemapCacheEntries(); got != (1<<20)/4 {
+		t.Fatalf("local entries = %d, want %d", got, (1<<20)/4)
+	}
+	c.PIPM.GlobalRemapCacheBytes = -1
+	if got := c.GlobalRemapCacheEntries(); got != -1 {
+		t.Fatalf("infinite cache = %d entries, want -1", got)
+	}
+	c.PIPM.LocalRemapCacheBytes = 0
+	if got := c.LocalRemapCacheEntries(); got != 0 {
+		t.Fatalf("disabled cache = %d entries, want 0", got)
+	}
+}
+
+func TestAddrHelpers(t *testing.T) {
+	a := Addr(0x12345)
+	if a.Line() != 0x12345>>6 {
+		t.Errorf("Line() = %#x", uint64(a.Line()))
+	}
+	if a.Page() != 0x12 {
+		t.Errorf("Page() = %#x, want 0x12", uint64(a.Page()))
+	}
+	if a.PageBase() != 0x12000 {
+		t.Errorf("PageBase() = %#x, want 0x12000", uint64(a.PageBase()))
+	}
+	if a.LineBase() != 0x12340 {
+		t.Errorf("LineBase() = %#x, want 0x12340", uint64(a.LineBase()))
+	}
+	if got := a.LineInPage(); got != 0xD {
+		t.Errorf("LineInPage() = %d, want 13", got)
+	}
+}
+
+func TestAddressMapRegions(t *testing.T) {
+	c := Default()
+	m := NewAddressMap(&c)
+
+	// Private windows map to the right host.
+	for h := 0; h < c.Hosts; h++ {
+		a := m.PrivateAddr(h, 4096)
+		kind, owner := m.Region(a)
+		if kind != RegionPrivate || owner != h {
+			t.Fatalf("PrivateAddr(%d): Region = %v/%d", h, kind, owner)
+		}
+	}
+
+	// Shared addresses classify as shared.
+	a := m.SharedAddr(0)
+	if kind, _ := m.Region(a); kind != RegionShared {
+		t.Fatalf("SharedAddr(0): Region = %v", kind)
+	}
+	last := m.SharedAddr(Addr(c.SharedBytes - 1))
+	if kind, _ := m.Region(last); kind != RegionShared {
+		t.Fatalf("last shared byte: Region = %v", kind)
+	}
+
+	// One past the end is invalid.
+	if kind, _ := m.Region(last + 1); kind != RegionInvalid {
+		t.Fatalf("past-the-end: Region = %v, want invalid", kind)
+	}
+
+	// Page indexing round-trips.
+	p := m.SharedAddr(5 * PageBytes)
+	if idx := m.SharedPageIndex(p); idx != 5 {
+		t.Fatalf("SharedPageIndex = %d, want 5", idx)
+	}
+}
+
+func TestAddressMapPanics(t *testing.T) {
+	c := Default()
+	m := NewAddressMap(&c)
+	for name, fn := range map[string]func(){
+		"shared out of range":  func() { m.SharedAddr(Addr(c.SharedBytes)) },
+		"bad host":             func() { m.PrivateAddr(c.Hosts, 0) },
+		"private out of range": func() { m.PrivateAddr(0, Addr(c.LocalDRAM.CapacityBytes)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: every shared offset classifies as shared, and private/shared
+// ranges never overlap.
+func TestAddressMapDisjointProperty(t *testing.T) {
+	c := Default()
+	m := NewAddressMap(&c)
+	f := func(off uint32, h uint8) bool {
+		so := Addr(off) % Addr(c.SharedBytes)
+		sa := m.SharedAddr(so)
+		kind, _ := m.Region(sa)
+		if kind != RegionShared {
+			return false
+		}
+		host := int(h) % c.Hosts
+		po := Addr(off) % Addr(c.LocalDRAM.CapacityBytes)
+		pa := m.PrivateAddr(host, po)
+		k2, owner := m.Region(pa)
+		return k2 == RegionPrivate && owner == host && pa != sa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionKindString(t *testing.T) {
+	if RegionPrivate.String() != "private" || RegionShared.String() != "shared" || RegionInvalid.String() != "invalid" {
+		t.Fatal("RegionKind.String mismatch")
+	}
+}
+
+func TestSharedPages(t *testing.T) {
+	c := Default()
+	c.SharedBytes = 10*PageBytes + 1
+	if got := c.SharedPages(); got != 11 {
+		t.Fatalf("SharedPages = %d, want 11", got)
+	}
+}

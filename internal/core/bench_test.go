@@ -1,0 +1,44 @@
+package core
+
+import "testing"
+
+func BenchmarkDeviceAccessVote(b *testing.B) {
+	m := NewManager(Params{Hosts: 4, SharedPages: 1 << 16, Threshold: 8,
+		GlobalCacheEntries: 8192, GlobalCacheWays: 8,
+		LocalCacheEntries: 1 << 18, LocalCacheWays: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DeviceAccess(i&3, int64(i)&0xFFFF)
+	}
+}
+
+func BenchmarkLocalLookup(b *testing.B) {
+	m := NewManager(Params{Hosts: 4, SharedPages: 1 << 16, Threshold: 8,
+		GlobalCacheEntries: 8192, GlobalCacheWays: 8,
+		LocalCacheEntries: 1 << 18, LocalCacheWays: 8})
+	for i := 0; i < 64; i++ {
+		m.DeviceAccess(0, 7) // promote page 7
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LocalLookup(0, 7)
+	}
+}
+
+func BenchmarkRemapCacheLookup(b *testing.B) {
+	c := NewRemapCache(8192, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(int64(i) & 8191)
+	}
+}
+
+func BenchmarkLocalTableInsertRemove(b *testing.B) {
+	t := NewLocalTable(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := int64(i) & 0xFFFFF
+		t.Insert(p, 8)
+		t.Remove(p)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import "testing"
+
+func TestHintStrings(t *testing.T) {
+	if HintAuto.String() != "auto" || HintNoMigrate.String() != "no-migrate" ||
+		HintPinned.String() != "pinned" || Hint(9).String() == "" {
+		t.Fatal("Hint.String mismatch")
+	}
+}
+
+func TestNoMigrateSuppressesPromotion(t *testing.T) {
+	m := NewManager(params())
+	if _, _, err := m.SetNoMigrate(7); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if out := m.DeviceAccess(0, 7); out.Promoted {
+			t.Fatal("no-migrate page promoted")
+		}
+	}
+	if m.Owner(7) != NoHost {
+		t.Fatal("no-migrate page has an owner")
+	}
+	// Other pages unaffected.
+	promote(t, m, 0, 8)
+}
+
+func TestNoMigrateRevokesExisting(t *testing.T) {
+	m := NewManager(params())
+	promote(t, m, 1, 5)
+	m.MigrateLine(1, 5, 0)
+	m.MigrateLine(1, 5, 1)
+	lines, from, err := m.SetNoMigrate(5)
+	if err != nil || lines != 2 || from != 1 {
+		t.Fatalf("SetNoMigrate = %d, %d, %v; want 2 lines from host 1", lines, from, err)
+	}
+	if m.Owner(5) != NoHost || m.MigratedPages(1) != 0 {
+		t.Fatal("revocation incomplete")
+	}
+	if m.Hint(5) != HintNoMigrate {
+		t.Fatal("hint not recorded")
+	}
+}
+
+func TestPinMigratesImmediately(t *testing.T) {
+	m := NewManager(params())
+	if _, _, err := m.PinTo(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Owner(3) != 2 || m.MigratedPages(2) != 1 {
+		t.Fatalf("pin did not migrate: owner=%d", m.Owner(3))
+	}
+	// Inter-host hammering must not revoke a pinned page.
+	for i := 0; i < 500; i++ {
+		if out := m.DeviceAccess(0, 3); out.Revoked {
+			t.Fatal("pinned page revoked")
+		}
+	}
+	if m.Owner(3) != 2 {
+		t.Fatal("pinned page lost its owner")
+	}
+}
+
+func TestPinMovesExistingMigration(t *testing.T) {
+	m := NewManager(params())
+	promote(t, m, 0, 9)
+	m.MigrateLine(0, 9, 4)
+	lines, from, err := m.PinTo(9, 3)
+	if err != nil || lines != 1 || from != 0 {
+		t.Fatalf("PinTo = %d, %d, %v", lines, from, err)
+	}
+	if m.Owner(9) != 3 || m.MigratedPages(0) != 0 || m.MigratedPages(3) != 1 {
+		t.Fatal("pin did not move ownership")
+	}
+	// Re-pinning to the same host is a no-op.
+	if lines, _, _ := m.PinTo(9, 3); lines != 0 {
+		t.Fatal("idempotent pin moved lines")
+	}
+}
+
+func TestClearHintRestoresPolicy(t *testing.T) {
+	m := NewManager(params())
+	if _, _, err := m.PinTo(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.ClearHint(3)
+	// Now revocable again: 15 inter-host accesses drain the counter.
+	revoked := false
+	for i := 0; i < 30 && !revoked; i++ {
+		revoked = m.DeviceAccess(0, 3).Revoked
+	}
+	if !revoked {
+		t.Fatal("unpinned page never revoked")
+	}
+	// ClearHint on an untouched manager is a no-op.
+	m2 := NewManager(params())
+	m2.ClearHint(1)
+	if m2.Hint(1) != HintAuto {
+		t.Fatal("default hint not auto")
+	}
+}
+
+func TestHintsRejectedByStaticAndBadHost(t *testing.T) {
+	p := params()
+	p.Static = true
+	m := NewManager(p)
+	if _, _, err := m.SetNoMigrate(1); err == nil {
+		t.Fatal("static manager accepted SetNoMigrate")
+	}
+	if _, _, err := m.PinTo(1, 0); err == nil {
+		t.Fatal("static manager accepted PinTo")
+	}
+	m2 := NewManager(params())
+	if _, _, err := m2.PinTo(1, 99); err == nil {
+		t.Fatal("PinTo accepted an out-of-range host")
+	}
+}

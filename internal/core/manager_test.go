@@ -1,0 +1,320 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func params() Params {
+	return Params{
+		Hosts:              4,
+		SharedPages:        1024,
+		Threshold:          8,
+		GlobalCacheEntries: -1,
+		LocalCacheEntries:  -1,
+	}
+}
+
+func TestPromotionAfterThresholdLead(t *testing.T) {
+	m := NewManager(params())
+	// Host 0 accesses page 7 eight times with no competition → promoted on
+	// the 8th access.
+	for i := 0; i < 7; i++ {
+		out := m.DeviceAccess(0, 7)
+		if out.Promoted {
+			t.Fatalf("promoted after %d accesses, threshold is 8", i+1)
+		}
+	}
+	out := m.DeviceAccess(0, 7)
+	if !out.Promoted || out.Owner != 0 {
+		t.Fatalf("8th access: %+v, want promotion to host 0", out)
+	}
+	if m.Owner(7) != 0 {
+		t.Fatalf("Owner = %d", m.Owner(7))
+	}
+	if m.MigratedPages(0) != 1 {
+		t.Fatalf("MigratedPages(0) = %d", m.MigratedPages(0))
+	}
+	if m.Stats().Promotions != 1 {
+		t.Fatalf("Promotions = %d", m.Stats().Promotions)
+	}
+}
+
+func TestContestedPageNeverPromotes(t *testing.T) {
+	m := NewManager(params())
+	// Perfectly alternating accesses from two hosts: the vote counter
+	// oscillates and never reaches the threshold — the "short-term-balanced"
+	// case §4.5 says must not migrate.
+	for i := 0; i < 1000; i++ {
+		if out := m.DeviceAccess(i%2, 42); out.Promoted {
+			t.Fatalf("contested page promoted at access %d", i)
+		}
+	}
+	if m.Owner(42) != NoHost {
+		t.Fatal("contested page has an owner")
+	}
+}
+
+func TestMajorityWinsDespiteMinority(t *testing.T) {
+	m := NewManager(params())
+	// Host 1 accesses 3× as often as host 2; its lead grows by 2 every 4
+	// accesses, so it promotes despite the interference.
+	for i := 0; m.Owner(9) == NoHost; i++ {
+		m.DeviceAccess(1, 9)
+		m.DeviceAccess(2, 9)
+		m.DeviceAccess(1, 9)
+		m.DeviceAccess(1, 9)
+		if i > 100 {
+			t.Fatal("majority host never promoted")
+		}
+	}
+	if m.Owner(9) != 1 {
+		t.Fatalf("Owner = %d, want 1", m.Owner(9))
+	}
+}
+
+func TestCandidateHandover(t *testing.T) {
+	m := NewManager(params())
+	// Host 0 builds a lead of 3, then host 1 erodes it to zero and takes
+	// over as candidate (§4.2 step ①).
+	for i := 0; i < 3; i++ {
+		m.DeviceAccess(0, 5)
+	}
+	for i := 0; i < 3; i++ {
+		m.DeviceAccess(1, 5)
+	}
+	// Counter is now 0; the next access from host 1 makes it candidate.
+	for i := 0; i < 8; i++ {
+		m.DeviceAccess(1, 5)
+	}
+	if m.Owner(5) != 1 {
+		t.Fatalf("Owner = %d, want 1 after handover", m.Owner(5))
+	}
+}
+
+func TestGlobalCounterSaturates(t *testing.T) {
+	p := params()
+	p.Threshold = 63 // keep promotion at the saturation point
+	m := NewManager(p)
+	for i := 0; i < 200; i++ {
+		m.DeviceAccess(0, 1)
+	}
+	// 6-bit counter: must have promoted exactly once at 63, no overflow
+	// wraparound (which would show as a second promotion after revoke).
+	if m.Stats().Promotions != 1 {
+		t.Fatalf("Promotions = %d", m.Stats().Promotions)
+	}
+}
+
+func TestOwnerAccessRefreshesCounter(t *testing.T) {
+	m := NewManager(params())
+	promote(t, m, 0, 7)
+	// Drain the local counter to 1 with inter-host accesses.
+	for i := 0; i < 7; i++ {
+		m.DeviceAccess(1, 7)
+	}
+	// Owner keeps using the page: counter refills (saturating at 15).
+	for i := 0; i < 40; i++ {
+		m.OwnerAccess(0, 7)
+	}
+	// Now it takes 15 inter-host accesses to revoke, not 1.
+	revoked := false
+	n := 0
+	for !revoked {
+		out := m.DeviceAccess(2, 7)
+		revoked = out.Revoked
+		n++
+		if n > 20 {
+			t.Fatal("never revoked")
+		}
+	}
+	if n != 15 {
+		t.Fatalf("revocation after %d inter-host accesses, want 15 (saturated counter)", n)
+	}
+}
+
+func TestRevocationReturnsMigratedLines(t *testing.T) {
+	m := NewManager(params())
+	promote(t, m, 0, 7)
+	for l := 0; l < 5; l++ {
+		if !m.MigrateLine(0, 7, l) {
+			t.Fatalf("MigrateLine(%d) failed", l)
+		}
+	}
+	if m.MigratedLines(0) != 5 {
+		t.Fatalf("MigratedLines = %d", m.MigratedLines(0))
+	}
+	// Threshold init is 8 → 8 inter-host accesses revoke.
+	var out Outcome
+	for i := 0; i < 8; i++ {
+		out = m.DeviceAccess(3, 7)
+	}
+	if !out.Revoked || out.RevokedLines != 5 || out.RevokedFrom != 0 {
+		t.Fatalf("revocation outcome = %+v", out)
+	}
+	if m.Owner(7) != NoHost || m.MigratedPages(0) != 0 {
+		t.Fatal("revocation did not clear state")
+	}
+	if m.Stats().Revocations != 1 || m.Stats().LinesDemoted != 5 {
+		t.Fatalf("stats = %+v", m.Stats())
+	}
+	// Page can be promoted again afterwards.
+	promote(t, m, 3, 7)
+	if m.Owner(7) != 3 {
+		t.Fatal("re-promotion failed")
+	}
+}
+
+func TestLineMigrateDemote(t *testing.T) {
+	m := NewManager(params())
+	promote(t, m, 2, 11)
+	if m.LineMigrated(2, 11, 4) {
+		t.Fatal("line migrated before MigrateLine")
+	}
+	if !m.MigrateLine(2, 11, 4) {
+		t.Fatal("MigrateLine failed")
+	}
+	if m.MigrateLine(2, 11, 4) {
+		t.Fatal("double MigrateLine reported newly-set")
+	}
+	if !m.LineMigrated(2, 11, 4) {
+		t.Fatal("LineMigrated false after MigrateLine")
+	}
+	if !m.DemoteLine(2, 11, 4) {
+		t.Fatal("DemoteLine failed")
+	}
+	if m.DemoteLine(2, 11, 4) {
+		t.Fatal("double DemoteLine succeeded")
+	}
+	// Line ops on pages not migrated to that host are no-ops.
+	if m.MigrateLine(0, 11, 1) || m.DemoteLine(0, 11, 1) || m.LineMigrated(0, 11, 1) {
+		t.Fatal("line ops leaked to non-owner host")
+	}
+}
+
+func TestLocalLookupAndCachePricing(t *testing.T) {
+	p := params()
+	p.LocalCacheEntries = 4
+	p.LocalCacheWays = 2
+	m := NewManager(p)
+	promote(t, m, 0, 3)
+	e, hit := m.LocalLookup(0, 3)
+	if e == nil {
+		t.Fatal("LocalLookup missed a migrated page")
+	}
+	if hit {
+		t.Fatal("first lookup should miss the remap cache")
+	}
+	if _, hit = m.LocalLookup(0, 3); !hit {
+		t.Fatal("second lookup should hit the remap cache")
+	}
+	// Non-migrated page: nil entry, still cached (negative caching follows
+	// from caching the table walk result).
+	if e, _ := m.LocalLookup(0, 999); e != nil {
+		t.Fatal("LocalLookup invented an entry")
+	}
+	if m.LocalCache(0).Hits() == 0 {
+		t.Fatal("cache accounting missing")
+	}
+}
+
+func TestStaticMode(t *testing.T) {
+	p := params()
+	p.Static = true
+	m := NewManager(p)
+	if !m.Static() {
+		t.Fatal("Static() = false")
+	}
+	// Every page pre-assigned round-robin.
+	for page := int64(0); page < p.SharedPages; page++ {
+		if m.Owner(page) != int(page%4) {
+			t.Fatalf("page %d owner = %d", page, m.Owner(page))
+		}
+	}
+	// 25% of pages per host (Fig 13's HW-static line).
+	if m.MigratedPages(0) != int(p.SharedPages/4) {
+		t.Fatalf("MigratedPages(0) = %d", m.MigratedPages(0))
+	}
+	// No vote, no promotion, no revocation — ever.
+	for i := 0; i < 1000; i++ {
+		out := m.DeviceAccess(i%4, int64(i)%p.SharedPages)
+		if out.Promoted || out.Revoked {
+			t.Fatal("static mode changed placement")
+		}
+	}
+	if s := m.Stats(); s.Promotions != 0 || s.Revocations != 0 || s.VoteUpdates != 0 {
+		t.Fatalf("static mode stats = %+v", s)
+	}
+}
+
+func TestManagerPanicsOnBadParams(t *testing.T) {
+	for name, p := range map[string]Params{
+		"zero hosts":    {Hosts: 0, SharedPages: 10, Threshold: 8},
+		"threshold 0":   {Hosts: 4, SharedPages: 10, Threshold: 0},
+		"threshold big": {Hosts: 4, SharedPages: 10, Threshold: 64},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			NewManager(p)
+		}()
+	}
+}
+
+// Property-style fuzz: random access streams never corrupt the ledger —
+// owner and local-table membership always agree, and per-host migrated
+// pages sum to the number of owned pages.
+func TestManagerLedgerInvariant(t *testing.T) {
+	m := NewManager(params())
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50000; i++ {
+		h := rng.Intn(4)
+		page := int64(rng.Intn(64)) // small page pool → heavy contention
+		switch rng.Intn(4) {
+		case 0, 1:
+			m.DeviceAccess(h, page)
+		case 2:
+			m.OwnerAccess(h, page)
+		default:
+			m.MigrateLine(h, page, rng.Intn(64))
+		}
+	}
+	owned := 0
+	for page := int64(0); page < 64; page++ {
+		if o := m.Owner(page); o != NoHost {
+			owned++
+			if e, _ := m.local[o].Lookup(page); e == nil {
+				t.Fatalf("page %d owned by %d but absent from its local table", page, o)
+			}
+			// No other host may hold an entry.
+			for h := 0; h < 4; h++ {
+				if h == o {
+					continue
+				}
+				if _, ok := m.local[h].Lookup(page); ok {
+					t.Fatalf("page %d has entries at two hosts", page)
+				}
+			}
+		}
+	}
+	total := 0
+	for h := 0; h < 4; h++ {
+		total += m.MigratedPages(h)
+	}
+	if total != owned {
+		t.Fatalf("migrated pages %d != owned pages %d", total, owned)
+	}
+}
+
+func promote(t *testing.T, m *Manager, h int, page int64) {
+	t.Helper()
+	for i := 0; i < 64; i++ {
+		if m.DeviceAccess(h, page).Promoted {
+			return
+		}
+	}
+	t.Fatalf("host %d never promoted page %d", h, page)
+}

@@ -1,0 +1,147 @@
+package core
+
+// RemapCache models the on-die caches in front of the remapping tables: the
+// 16 KB global remapping cache on the CXL device and the 1 MB local
+// remapping cache on each host's root complex (§4.4). It caches page
+// indices only — entry *contents* always come from the backing table, so the
+// cache cannot go stale; what it buys is skipping the in-memory table access
+// on a hit, which is exactly what the latency model charges for.
+type RemapCache struct {
+	ways     int
+	sets     int
+	infinite bool
+	disabled bool
+	tags     []int64 // sets*ways; -1 = empty
+	lru      []uint64
+	tick     uint64
+	inf      map[int64]struct{} // used when infinite
+
+	hits, misses uint64
+}
+
+// NewRemapCache builds a cache holding the given number of entries with the
+// given associativity. entries < 0 models an infinite cache (the sensitivity
+// study's ideal); entries == 0 disables the cache (every lookup misses).
+func NewRemapCache(entries, ways int) *RemapCache {
+	switch {
+	case entries < 0:
+		return &RemapCache{infinite: true, inf: make(map[int64]struct{})}
+	case entries == 0:
+		return &RemapCache{disabled: true}
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	if entries < ways {
+		ways = entries
+	}
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	// Round sets down to a power of two for cheap indexing.
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	c := &RemapCache{
+		ways: ways,
+		sets: sets,
+		tags: make([]int64, sets*ways),
+		lru:  make([]uint64, sets*ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// Entries returns the cache's capacity in entries (-1 when infinite).
+func (c *RemapCache) Entries() int {
+	switch {
+	case c.infinite:
+		return -1
+	case c.disabled:
+		return 0
+	}
+	return c.sets * c.ways
+}
+
+// Lookup probes for page, inserting it on a miss (remap caches are filled
+// by the very table walk the miss triggers). It reports whether the probe
+// hit, which the caller prices.
+func (c *RemapCache) Lookup(page int64) bool {
+	switch {
+	case c.disabled:
+		c.misses++
+		return false
+	case c.infinite:
+		if _, ok := c.inf[page]; ok {
+			c.hits++
+			return true
+		}
+		c.misses++
+		c.inf[page] = struct{}{}
+		return false
+	}
+	set := int(page) & (c.sets - 1)
+	base := set * c.ways
+	c.tick++
+	for i := 0; i < c.ways; i++ {
+		if c.tags[base+i] == page {
+			c.lru[base+i] = c.tick
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	// Fill: LRU victim within the set.
+	victim := base
+	for i := 1; i < c.ways; i++ {
+		if c.tags[base+i] == -1 {
+			victim = base + i
+			break
+		}
+		if c.lru[base+i] < c.lru[victim] {
+			victim = base + i
+		}
+	}
+	if c.tags[base] == -1 {
+		victim = base
+	}
+	c.tags[victim] = page
+	c.lru[victim] = c.tick
+	return false
+}
+
+// Invalidate drops page from the cache (entry removed from the table).
+func (c *RemapCache) Invalidate(page int64) {
+	switch {
+	case c.disabled:
+		return
+	case c.infinite:
+		delete(c.inf, page)
+		return
+	}
+	set := int(page) & (c.sets - 1)
+	base := set * c.ways
+	for i := 0; i < c.ways; i++ {
+		if c.tags[base+i] == page {
+			c.tags[base+i] = -1
+			c.lru[base+i] = 0
+			return
+		}
+	}
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookups.
+func (c *RemapCache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Hits and Misses return raw counters.
+func (c *RemapCache) Hits() uint64   { return c.hits }
+func (c *RemapCache) Misses() uint64 { return c.misses }

@@ -1,0 +1,184 @@
+// Package core implements the PIPM hardware proper (§4 of the paper): the
+// global remapping table on the CXL memory node, the per-host local
+// remapping tables (two-level radix), the on-die remapping caches in front
+// of both, the Boyer–Moore-style majority-vote migration policy, and the
+// per-line migrated-state bitmaps that realize the in-memory I'/ME bits.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sentinel host value meaning "none".
+const NoHost = -1
+
+// Counter widths from §4.2/§4.4: the global vote counter is 6 bits, the
+// local (revocation) counter 4 bits.
+const (
+	GlobalCounterMax = 63
+	LocalCounterMax  = 15
+)
+
+// GlobalEntry is one global remapping table record (2 bytes in hardware:
+// 5-bit current host, 5-bit candidate host, 6-bit counter).
+type GlobalEntry struct {
+	CurHost  int8  // host the page is partially migrated to, or NoHost
+	CandHost int8  // majority-vote candidate, or NoHost
+	Counter  uint8 // candidate's lead over all other hosts
+}
+
+// GlobalTable is the in-memory global remapping table: one entry per
+// CXL-DSM page, resident in CXL memory (the remapping cache in front of it
+// is modelled by RemapCache).
+type GlobalTable struct {
+	entries []GlobalEntry
+}
+
+// NewGlobalTable allocates entries for pages CXL-DSM pages, all unmigrated.
+func NewGlobalTable(pages int64) *GlobalTable {
+	t := &GlobalTable{entries: make([]GlobalEntry, pages)}
+	for i := range t.entries {
+		t.entries[i] = GlobalEntry{CurHost: NoHost, CandHost: NoHost}
+	}
+	return t
+}
+
+// Pages returns the number of pages covered.
+func (t *GlobalTable) Pages() int64 { return int64(len(t.entries)) }
+
+// Entry returns a pointer to page's record. Page indices are dense and
+// bounds-checked by the slice access.
+func (t *GlobalTable) Entry(page int64) *GlobalEntry { return &t.entries[page] }
+
+// SizeBytes returns the table's in-memory footprint at 2 B/entry (§4.4).
+func (t *GlobalTable) SizeBytes() int64 { return 2 * int64(len(t.entries)) }
+
+// LocalEntry is one per-host local remapping table record (4 bytes in
+// hardware: 28-bit local PFN + 4-bit counter). The simulator additionally
+// keeps the page's migrated-line bitmap here; in hardware those bits live
+// with the data (ECC spare bits) in both local and CXL memory, but they are
+// only meaningful for pages that have a local entry, so this placement is
+// behaviourally identical and saves a parallel structure.
+type LocalEntry struct {
+	PFN     uint32 // page frame in this host's local DRAM
+	Counter uint8  // revocation counter
+	Bitmap  uint64 // bit l set ⇔ line l of the page is migrated (I'/ME side)
+}
+
+const leafEntries = 1024 // 1K entries per leaf, as in §4.4
+
+type localLeaf struct {
+	valid   [leafEntries]bool
+	entries [leafEntries]LocalEntry
+}
+
+// LocalTable is one host's local remapping table, a two-level radix table:
+// a root indexing fixed 1K-entry leaves, allocated on demand. Only pages
+// partially migrated to this host have entries.
+type LocalTable struct {
+	root    []*localLeaf
+	count   int // live entries
+	nextPFN uint32
+}
+
+// NewLocalTable covers pages CXL-DSM pages.
+func NewLocalTable(pages int64) *LocalTable {
+	roots := (pages + leafEntries - 1) / leafEntries
+	return &LocalTable{root: make([]*localLeaf, roots)}
+}
+
+// Lookup returns the entry for page and the number of memory accesses a
+// hardware walk performs (1 when the leaf exists — the 32 MB root is pinned
+// and hits in it are free per §4.4 — and 1 for a miss discovered at the
+// root, since absence still requires reading the root entry; we charge 1
+// either way and let depth express leaf reads).
+func (t *LocalTable) Lookup(page int64) (*LocalEntry, bool) {
+	leaf := t.root[page/leafEntries]
+	if leaf == nil {
+		return nil, false
+	}
+	idx := page % leafEntries
+	if !leaf.valid[idx] {
+		return nil, false
+	}
+	return &leaf.entries[idx], true
+}
+
+// Insert creates an entry for page with a freshly allocated local PFN and
+// the given initial counter. Inserting an existing page panics: the policy
+// must never double-promote.
+func (t *LocalTable) Insert(page int64, counter uint8) *LocalEntry {
+	li := page / leafEntries
+	leaf := t.root[li]
+	if leaf == nil {
+		leaf = &localLeaf{}
+		t.root[li] = leaf
+	}
+	idx := page % leafEntries
+	if leaf.valid[idx] {
+		panic(fmt.Sprintf("core: duplicate local remap insert for page %d", page))
+	}
+	if t.nextPFN == math.MaxUint32 {
+		panic("core: local PFN space exhausted")
+	}
+	pfn := t.nextPFN
+	t.nextPFN++
+	leaf.valid[idx] = true
+	leaf.entries[idx] = LocalEntry{PFN: pfn, Counter: counter}
+	t.count++
+	return &leaf.entries[idx]
+}
+
+// Remove drops page's entry, returning the entry it held.
+func (t *LocalTable) Remove(page int64) (LocalEntry, bool) {
+	leaf := t.root[page/leafEntries]
+	if leaf == nil {
+		return LocalEntry{}, false
+	}
+	idx := page % leafEntries
+	if !leaf.valid[idx] {
+		return LocalEntry{}, false
+	}
+	e := leaf.entries[idx]
+	leaf.valid[idx] = false
+	leaf.entries[idx] = LocalEntry{}
+	t.count--
+	return e, true
+}
+
+// Count returns the number of live entries (pages partially migrated here).
+func (t *LocalTable) Count() int { return t.count }
+
+// SizeBytes returns the current in-memory footprint: the fixed root plus
+// 4 B per entry, matching §4.4's 32MB + 4B/4KB × RSS formula (we charge the
+// root proportionally to its configured coverage rather than a fixed 32 MB,
+// since simulated pools are scaled down).
+func (t *LocalTable) SizeBytes() int64 {
+	return int64(len(t.root))*8 + 4*int64(t.count)
+}
+
+// MigratedLines returns the total number of migrated lines across entries.
+func (t *LocalTable) MigratedLines() int {
+	n := 0
+	for _, leaf := range t.root {
+		if leaf == nil {
+			continue
+		}
+		for i := range leaf.entries {
+			if leaf.valid[i] {
+				n += popcount(leaf.entries[i].Bitmap)
+			}
+		}
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

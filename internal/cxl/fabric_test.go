@@ -1,0 +1,143 @@
+package cxl
+
+import (
+	"testing"
+
+	"pipm/internal/config"
+	"pipm/internal/sim"
+)
+
+func testFabric(hops int) *Fabric {
+	c := config.Default()
+	c.CXL.SwitchHops = hops
+	return New(c.Hosts, c.CXL)
+}
+
+func TestDirectAttachLatency(t *testing.T) {
+	f := testFabric(0)
+	// 64B data + 16B header at 5 GB/s = 16ns serialization, +50ns prop.
+	got := f.HostToDevice(0, 0, DataBytes)
+	bytes := float64(DataBytes + HeaderBytes)
+	want := sim.Time(bytes/5e9*float64(sim.Second)) + 50*sim.Nanosecond
+	if got != want {
+		t.Fatalf("HostToDevice(64B) = %v, want %v", got, want)
+	}
+}
+
+func TestSwitchHopAddsLatency(t *testing.T) {
+	direct := testFabric(0).HostToDevice(0, 0, DataBytes)
+	switched := testFabric(1).HostToDevice(0, 0, DataBytes)
+	if switched-direct != 50*sim.Nanosecond {
+		t.Fatalf("switch hop adds %v, want 50ns", switched-direct)
+	}
+}
+
+func TestDirectionsIndependent(t *testing.T) {
+	f := testFabric(0)
+	// Saturate the up direction; down transfers must be unaffected.
+	for i := 0; i < 100; i++ {
+		f.HostToDevice(0, 0, DataBytes)
+	}
+	down := f.DeviceToHost(0, 0, DataBytes)
+	fresh := testFabric(0).DeviceToHost(0, 0, DataBytes)
+	if down != fresh {
+		t.Fatalf("down direction delayed by up traffic: %v vs %v", down, fresh)
+	}
+}
+
+func TestPerHostLinksIndependent(t *testing.T) {
+	f := testFabric(0)
+	for i := 0; i < 100; i++ {
+		f.HostToDevice(0, 0, DataBytes)
+	}
+	other := f.HostToDevice(0, 1, DataBytes)
+	fresh := testFabric(0).HostToDevice(0, 1, DataBytes)
+	if other != fresh {
+		t.Fatalf("host 1's link delayed by host 0 traffic")
+	}
+}
+
+func TestHostToHostRoutesThroughDevice(t *testing.T) {
+	f := testFabric(0)
+	got := f.HostToHost(0, 0, 1, DataBytes)
+	oneWay := testFabric(0).HostToDevice(0, 0, DataBytes)
+	if got < 2*oneWay {
+		t.Fatalf("HostToHost = %v, want ≥ two link traversals (%v)", got, 2*oneWay)
+	}
+	if f.UpBytes(0) == 0 || f.DownBytes(1) == 0 {
+		t.Fatal("HostToHost did not account bytes on both legs")
+	}
+}
+
+func TestDirLookupSlicing(t *testing.T) {
+	f := testFabric(0)
+	// Lines hashing to different slices do not queue behind each other.
+	a := f.DirLookup(0, 0)
+	b := f.DirLookup(0, 1)
+	if a != b {
+		t.Fatalf("independent slices gave different free-start latencies: %v vs %v", a, b)
+	}
+	// Same slice queues.
+	c := f.DirLookup(0, 0)
+	if c <= a {
+		t.Fatalf("same-slice lookup did not queue: %v vs %v", c, a)
+	}
+	want := 16 * sim.Nanosecond
+	if a != want {
+		t.Fatalf("dir lookup latency = %v, want %v", a, want)
+	}
+}
+
+func TestBandwidthSaturation(t *testing.T) {
+	f := testFabric(0)
+	// Push 1000 data messages down host 0's up-link at time 0; sustained
+	// rate must not exceed 5 GB/s.
+	var done sim.Time
+	n := 1000
+	for i := 0; i < n; i++ {
+		done = f.HostToDevice(0, 0, DataBytes)
+	}
+	bytes := float64(n * (DataBytes + HeaderBytes))
+	gbps := bytes / (done - 50*sim.Nanosecond).Seconds() / 1e9
+	if gbps > 5.01 {
+		t.Fatalf("sustained %.2f GB/s exceeds 5 GB/s link", gbps)
+	}
+	if gbps < 4.9 {
+		t.Fatalf("sustained %.2f GB/s, want ≈5 under saturation", gbps)
+	}
+}
+
+func TestAccountingAndReset(t *testing.T) {
+	f := testFabric(0)
+	f.HostToDevice(0, 0, DataBytes)
+	f.DeviceToHost(0, 2, 0)
+	if f.TotalBytes() != uint64(DataBytes+2*HeaderBytes) {
+		t.Fatalf("TotalBytes = %d", f.TotalBytes())
+	}
+	if f.UpBytes(0) != DataBytes+HeaderBytes || f.DownBytes(2) != HeaderBytes {
+		t.Fatal("per-direction accounting wrong")
+	}
+	if u := f.LinkUtilization(sim.Microsecond); u <= 0 {
+		t.Fatalf("LinkUtilization = %v, want > 0", u)
+	}
+	f.Reset()
+	if f.TotalBytes() != 0 || f.QueueDelay() != 0 {
+		t.Fatal("Reset did not clear accounting")
+	}
+}
+
+func TestHostsAccessor(t *testing.T) {
+	if got := testFabric(0).Hosts(); got != 4 {
+		t.Fatalf("Hosts() = %d, want 4", got)
+	}
+}
+
+func TestNewRejectsZeroHosts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0 hosts) did not panic")
+		}
+	}()
+	c := config.Default()
+	New(0, c.CXL)
+}

@@ -1,0 +1,244 @@
+package gapbs
+
+import (
+	"testing"
+
+	"pipm/internal/config"
+	"pipm/internal/trace"
+)
+
+func testLayout(t *testing.T, scale, degree int) (*Layout, *Graph, config.AddressMap) {
+	t.Helper()
+	c := config.Default()
+	c.SharedBytes = 16 << 20
+	am := config.NewAddressMap(&c)
+	g := Kronecker(scale, degree, 42)
+	l, err := NewLayout(am, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, g, am
+}
+
+func TestKroneckerShape(t *testing.T) {
+	g := Kronecker(10, 8, 1)
+	if g.N != 1024 {
+		t.Fatalf("N = %d, want 1024", g.N)
+	}
+	if g.M() != 1024*8 {
+		t.Fatalf("M = %d, want %d", g.M(), 1024*8)
+	}
+	// CSR integrity: offsets monotone, covering all edges.
+	if g.Offsets[0] != 0 || g.Offsets[g.N] != g.M() {
+		t.Fatal("offsets do not cover the edge array")
+	}
+	for v := int64(0); v < g.N; v++ {
+		if g.Offsets[v+1] < g.Offsets[v] {
+			t.Fatalf("offsets not monotone at %d", v)
+		}
+	}
+	for _, u := range g.Edges {
+		if u < 0 || u >= g.N {
+			t.Fatalf("edge target %d out of range", u)
+		}
+	}
+}
+
+func TestKroneckerIsSkewed(t *testing.T) {
+	g := Kronecker(12, 16, 7)
+	// RMAT graphs are power-law-ish: the hottest 1% of vertices should own
+	// far more than 1% of edges.
+	degs := make([]int64, 0, g.N)
+	for v := int64(0); v < g.N; v++ {
+		degs = append(degs, g.Degree(v))
+	}
+	// Partial selection of the top 1%.
+	top := g.N / 100
+	var sum int64
+	for i := int64(0); i < top; i++ {
+		maxIdx := i
+		for j := i + 1; j < int64(len(degs)); j++ {
+			if degs[j] > degs[maxIdx] {
+				maxIdx = j
+			}
+		}
+		degs[i], degs[maxIdx] = degs[maxIdx], degs[i]
+		sum += degs[i]
+	}
+	if frac := float64(sum) / float64(g.M()); frac < 0.05 {
+		t.Fatalf("top 1%% of vertices own only %.1f%% of edges — not RMAT-skewed", 100*frac)
+	}
+}
+
+func TestUniformGraph(t *testing.T) {
+	g := Uniform(8, 4, 3)
+	if g.N != 256 || g.M() != 1024 {
+		t.Fatalf("shape %d/%d", g.N, g.M())
+	}
+	for v := int64(0); v < g.N; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("vertex %d degree %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Kronecker(8, 4, 9)
+	b := Kronecker(8, 4, 9)
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("Kronecker not deterministic")
+		}
+	}
+}
+
+func TestLayoutRejectsOversizedGraph(t *testing.T) {
+	c := config.Default()
+	c.SharedBytes = 1 << 20 // 1 MB: too small for scale 14
+	am := config.NewAddressMap(&c)
+	if _, err := NewLayout(am, Kronecker(14, 16, 1), 4); err == nil {
+		t.Fatal("oversized graph accepted")
+	}
+}
+
+func TestReaderAddressesAreInLayout(t *testing.T) {
+	l, g, am := testLayout(t, 10, 8)
+	for _, k := range []Kernel{PageRank, BFS, SSSP} {
+		r := l.NewReader(k, 1, 0, 2, 20000, 5)
+		n := 0
+		for {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			n++
+			kind, _ := am.Region(rec.Addr)
+			if kind != config.RegionShared {
+				t.Fatalf("%v: non-shared address %#x", k, uint64(rec.Addr))
+			}
+			limit := am.SharedAddr(0) + config.Addr((3*g.N+1+g.M())*8)
+			if rec.Addr >= limit {
+				t.Fatalf("%v: address %#x beyond the graph layout", k, uint64(rec.Addr))
+			}
+		}
+		if n != 20000 {
+			t.Fatalf("%v: yielded %d records, want 20000", k, n)
+		}
+	}
+}
+
+func TestReaderDeterministic(t *testing.T) {
+	l, _, _ := testLayout(t, 10, 8)
+	read := func() []trace.Record {
+		r := l.NewReader(BFS, 0, 0, 1, 5000, 3)
+		var recs []trace.Record
+		for {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			recs = append(recs, rec)
+		}
+		return recs
+	}
+	a, b := read(), read()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("records diverge at %d", i)
+		}
+	}
+}
+
+func TestOwnershipPartitioning(t *testing.T) {
+	l, g, am := testLayout(t, 12, 8)
+	// Host 2's PR reader writes values2 only for its own vertex block.
+	r := l.NewReader(PageRank, 2, 0, 1, 40000, 1)
+	lo, hi := l.ownerRange(2, 0, 1)
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		if !rec.Write {
+			continue
+		}
+		word := int64(rec.Addr-am.SharedAddr(0)) / 8
+		if word < g.N || word >= 2*g.N {
+			t.Fatalf("PR wrote outside values2: word %d", word)
+		}
+		v := word - g.N
+		if v < lo || v >= hi {
+			t.Fatalf("PR wrote vertex %d outside owned block [%d,%d)", v, lo, hi)
+		}
+	}
+}
+
+func TestCrossPartitionTrafficExists(t *testing.T) {
+	l, g, am := testLayout(t, 12, 8)
+	// Host 0's neighbour-value reads must sometimes touch other hosts'
+	// vertex blocks — that is the boundary traffic the paper's migration
+	// problem is about.
+	r := l.NewReader(PageRank, 0, 0, 1, 60000, 1)
+	hostOf := func(v int64) int { return int(v * 4 / g.N) }
+	cross := 0
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		word := int64(rec.Addr-am.SharedAddr(0)) / 8
+		if word >= g.N || rec.Write {
+			continue // only neighbour-value reads
+		}
+		if !rec.Dep {
+			continue
+		}
+		if hostOf(word) != 0 {
+			cross++
+		}
+	}
+	if cross == 0 {
+		t.Fatal("no cross-partition neighbour reads — partitioned graph should have boundary traffic")
+	}
+}
+
+func TestBFSTerminatesAndRestarts(t *testing.T) {
+	l, _, _ := testLayout(t, 8, 4)
+	// A small graph converges quickly; a large budget forces restarts.
+	r := l.NewReader(BFS, 0, 0, 1, 200000, 1)
+	n := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 200000 {
+		t.Fatalf("reader starved after %d records (restart logic broken)", n)
+	}
+}
+
+func TestKernelStrings(t *testing.T) {
+	if PageRank.String() != "pr" || BFS.String() != "bfs" || SSSP.String() != "sssp" {
+		t.Fatal("Kernel strings wrong")
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"scale 0":   func() { Kronecker(0, 4, 1) },
+		"scale 31":  func() { Kronecker(31, 4, 1) },
+		"degree 0":  func() { Kronecker(4, 0, 1) },
+		"bad host":  func() { l, _, _ := testLayout(t, 8, 4); l.NewReader(BFS, 9, 0, 1, 10, 1) },
+		"u scale 0": func() { Uniform(0, 4, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+
+	"pipm/internal/migration"
+)
+
+// The experiments below go beyond the paper's printed figures and cover the
+// claims its text makes without a figure: §4.5's scalability argument
+// (majority voting keeps suppressing harmful migrations as hosts grow) and
+// §5.1.4's threshold robustness ("similar performance with thresholds
+// ranging from 4 to 16").
+
+// Scalability sweeps the host count and reports PIPM's speedup over Native
+// plus OS-skew's, on each workload. Cores per host and the shared heap stay
+// fixed, so adding hosts adds both compute demand and sharing pressure.
+func (s *Suite) Scalability(hostCounts []int) (Table, error) {
+	if len(hostCounts) == 0 {
+		hostCounts = []int{2, 4, 8}
+	}
+	t := Table{
+		Title:     "Scalability (§4.5): PIPM speedup over Native vs host count",
+		MeanLabel: "mean",
+	}
+	for _, h := range hostCounts {
+		t.Cols = append(t.Cols, fmt.Sprintf("%dhosts", h))
+	}
+	for _, wl := range s.opt.Workloads {
+		row := make([]float64, len(hostCounts))
+		for i, hosts := range hostCounts {
+			cfg := s.opt.Cfg
+			cfg.Hosts = hosts
+			nat, err := RunOne(cfg, wl, migration.Native, s.opt.RecordsPerCore, s.opt.Seed)
+			if err != nil {
+				return Table{}, err
+			}
+			res, err := RunOne(cfg, wl, migration.PIPM, s.opt.RecordsPerCore, s.opt.Seed)
+			if err != nil {
+				return Table{}, err
+			}
+			row[i] = Speedup(res, nat)
+		}
+		t.Rows = append(t.Rows, wl.Name)
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// Adaptivity runs phase-rotating variants of the workloads: halfway
+// through the trace each host's partition affinity shifts to the next host, so
+// yesterday's perfect placement is today's remote data. PIPM's vote plus
+// revocation tracks the shift; HW-static's fixed mapping cannot — the
+// dynamic-remapping argument of §3.3 made quantitative.
+func (s *Suite) Adaptivity() (Table, error) {
+	t := Table{
+		Title:     "Adaptivity: speedup over Native with rotating partition affinity",
+		MeanLabel: "mean",
+		Cols:      []string{"hw-static", "pipm"},
+	}
+	for _, wl := range s.opt.Workloads {
+		rot := wl
+		rot.RotateEvery = s.opt.RecordsPerCore / 2 // two phases per run
+		nat, err := RunOne(s.opt.Cfg, rot, migration.Native, s.opt.RecordsPerCore, s.opt.Seed)
+		if err != nil {
+			return Table{}, err
+		}
+		row := make([]float64, 2)
+		for i, k := range []migration.Kind{migration.HWStatic, migration.PIPM} {
+			res, err := RunOne(s.opt.Cfg, rot, k, s.opt.RecordsPerCore, s.opt.Seed)
+			if err != nil {
+				return Table{}, err
+			}
+			row[i] = Speedup(res, nat)
+		}
+		t.Rows = append(t.Rows, wl.Name)
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// ThresholdSensitivity sweeps the majority-vote promotion threshold and
+// reports PIPM's speedup over Native — the §5.1.4 robustness claim.
+func (s *Suite) ThresholdSensitivity(thresholds []int) (Table, error) {
+	if len(thresholds) == 0 {
+		thresholds = []int{2, 4, 8, 16, 32}
+	}
+	t := Table{
+		Title:     "Threshold sensitivity (§5.1.4): PIPM speedup over Native vs vote threshold",
+		MeanLabel: "mean",
+	}
+	for _, th := range thresholds {
+		t.Cols = append(t.Cols, fmt.Sprintf("th=%d", th))
+	}
+	for _, wl := range s.opt.Workloads {
+		nat, err := s.sw.get(wl, migration.Native)
+		if err != nil {
+			return Table{}, err
+		}
+		row := make([]float64, len(thresholds))
+		for i, th := range thresholds {
+			cfg := s.opt.Cfg
+			cfg.PIPM.MigrationThreshold = th
+			res, err := RunOne(cfg, wl, migration.PIPM, s.opt.RecordsPerCore, s.opt.Seed)
+			if err != nil {
+				return Table{}, err
+			}
+			row[i] = Speedup(res, nat)
+		}
+		t.Rows = append(t.Rows, wl.Name)
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment artefact: named rows (workloads) × named
+// columns (schemes or sweep points), plus a geometric-mean/average row.
+type Table struct {
+	Title string
+	Note  string
+	Cols  []string
+	Rows  []string
+	Cells [][]float64 // [row][col]
+	// Fmt formats one cell (defaults to "%.2f").
+	Fmt string
+	// MeanLabel, when set, appends a column-mean row with this label.
+	MeanLabel string
+}
+
+// Means returns the arithmetic column means.
+func (t *Table) Means() []float64 {
+	means := make([]float64, len(t.Cols))
+	if len(t.Rows) == 0 {
+		return means
+	}
+	for c := range t.Cols {
+		var sum float64
+		for r := range t.Rows {
+			sum += t.Cells[r][c]
+		}
+		means[c] = sum / float64(len(t.Rows))
+	}
+	return means
+}
+
+// Cell returns the value at (rowName, colName).
+func (t *Table) Cell(row, col string) (float64, bool) {
+	ri, ci := -1, -1
+	for i, r := range t.Rows {
+		if r == row {
+			ri = i
+		}
+	}
+	for i, c := range t.Cols {
+		if c == col {
+			ci = i
+		}
+	}
+	if ri < 0 || ci < 0 {
+		return 0, false
+	}
+	return t.Cells[ri][ci], true
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	cellFmt := t.Fmt
+	if cellFmt == "" {
+		cellFmt = "%.2f"
+	}
+	header := append([]string{"workload"}, t.Cols...)
+	rows := [][]string{header}
+	for r, name := range t.Rows {
+		row := []string{name}
+		for c := range t.Cols {
+			row = append(row, fmt.Sprintf(cellFmt, t.Cells[r][c]))
+		}
+		rows = append(rows, row)
+	}
+	if t.MeanLabel != "" {
+		row := []string{t.MeanLabel}
+		for _, mu := range t.Means() {
+			row = append(row, fmt.Sprintf(cellFmt, mu))
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package machine
+
+import (
+	"fmt"
+
+	"pipm/internal/cache"
+	"pipm/internal/coherence"
+	"pipm/internal/config"
+)
+
+// The coherence auditor checks — on live simulator state, after every
+// shared-data access — the same invariants the model checker proves on the
+// abstract protocol (SWMR, directory precision, ME/I' consistency). The
+// model checker covers the protocol as specified; the auditor covers the
+// walk as implemented. It is off by default (it scans every host per
+// access) and enabled by tests via EnableAudit.
+
+// EnableAudit turns on per-access invariant checking. Call before Run.
+// Violations are collected; AuditViolations returns them after the run.
+func (m *Machine) EnableAudit() { m.audit = true }
+
+// AuditViolations returns the invariant violations observed (nil when the
+// auditor was off or everything held).
+func (m *Machine) AuditViolations() []string { return m.auditErrs }
+
+// auditLine checks the cross-host state of one shared line.
+func (m *Machine) auditLine(line config.Addr) {
+	if len(m.auditErrs) >= 16 {
+		return // enough evidence; stop accumulating
+	}
+	exclusiveAt, sharers := -1, 0
+	var exclusiveState cache.State
+	for _, hs := range m.hosts {
+		st, ok := hs.llc.Peek(line)
+		if !ok {
+			// Inclusion: no L1 may hold a line its LLC lost.
+			for _, c := range hs.cores {
+				if _, l1ok := c.l1.Peek(line); l1ok {
+					m.fail("inclusion: host %d core %d caches line %#x absent from its LLC",
+						hs.id, c.id, uint64(line))
+				}
+			}
+			continue
+		}
+		switch st {
+		case cache.Modified, cache.Exclusive, cache.MigratedExclusive:
+			if exclusiveAt >= 0 {
+				m.fail("SWMR: line %#x exclusive at hosts %d and %d", uint64(line), exclusiveAt, hs.id)
+			}
+			exclusiveAt = hs.id
+			exclusiveState = st
+		case cache.Shared:
+			sharers++
+		}
+	}
+	if exclusiveAt >= 0 && sharers > 0 {
+		m.fail("SWMR: line %#x exclusive at host %d while %d hosts share it",
+			uint64(line), exclusiveAt, sharers)
+	}
+
+	// ME implies the line is migrated to that host and the device
+	// directory holds no entry (§4.3: migrated lines need none).
+	if exclusiveAt >= 0 && exclusiveState == cache.MigratedExclusive {
+		if m.mgr == nil {
+			m.fail("ME: line %#x in ME without a PIPM manager", uint64(line))
+			return
+		}
+		page := m.amap.SharedPageIndex(line << config.LineShift)
+		if m.mgr.Owner(page) != exclusiveAt {
+			m.fail("ME: line %#x ME at host %d but page owned by %d",
+				uint64(line), exclusiveAt, m.mgr.Owner(page))
+		}
+		if _, ok := m.devDir.Lookup(line); ok {
+			m.fail("ME: line %#x has a device directory entry while migrated", uint64(line))
+		}
+	}
+
+	// Directory precision: an M entry's owner must actually hold the line
+	// exclusively; S entries' sharers must hold it.
+	if e, ok := m.devDir.Lookup(line); ok {
+		switch e.State {
+		case coherence.DirModified:
+			st, held := m.hosts[e.Owner].llc.Peek(line)
+			if !held || st == cache.Shared {
+				m.fail("directory: line %#x M-owned by host %d which holds %v/%v",
+					uint64(line), e.Owner, st, held)
+			}
+		case coherence.DirShared:
+			coherence.ForEachSharer(e.Sharers, func(g int) {
+				if _, held := m.hosts[g].llc.Peek(line); !held {
+					m.fail("directory: line %#x lists sharer %d which holds nothing",
+						uint64(line), g)
+				}
+			})
+		}
+	}
+}
+
+func (m *Machine) fail(format string, args ...interface{}) {
+	m.auditErrs = append(m.auditErrs, fmt.Sprintf(format, args...))
+}

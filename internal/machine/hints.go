@@ -1,0 +1,91 @@
+package machine
+
+import (
+	"fmt"
+
+	pipmcore "pipm/internal/core"
+	"pipm/internal/migration"
+)
+
+// Software page hints (§6 of the paper), available on hardware schemes
+// (PIPM only — HW-static has no policy to steer). Hints may be applied
+// before Run or at any point during a run (e.g. from an event scheduled by
+// the caller); data movement they trigger is priced like a policy-driven
+// revocation.
+
+func (m *Machine) hintManager() (*pipmcore.Manager, error) {
+	if m.scheme != migration.PIPM || m.mgr == nil {
+		return nil, fmt.Errorf("machine: page hints require the PIPM scheme (have %v)", m.scheme)
+	}
+	return m.mgr, nil
+}
+
+func (m *Machine) checkPage(page int64) error {
+	if page < 0 || page >= m.cfg.SharedPages() {
+		return fmt.Errorf("machine: page %d outside the shared heap (%d pages)", page, m.cfg.SharedPages())
+	}
+	return nil
+}
+
+// PinPage partially migrates page to host immediately and exempts it from
+// revocation until ClearPageHint.
+func (m *Machine) PinPage(page int64, host int) error {
+	mgr, err := m.hintManager()
+	if err != nil {
+		return err
+	}
+	if err := m.checkPage(page); err != nil {
+		return err
+	}
+	lines, from, err := mgr.PinTo(page, host)
+	if err != nil {
+		return err
+	}
+	m.priceHintRevocation(page, lines, from)
+	return nil
+}
+
+// SetPageNoMigrate excludes page from partial migration; an existing
+// migration is revoked (and its transfer priced).
+func (m *Machine) SetPageNoMigrate(page int64) error {
+	mgr, err := m.hintManager()
+	if err != nil {
+		return err
+	}
+	if err := m.checkPage(page); err != nil {
+		return err
+	}
+	lines, from, err := mgr.SetNoMigrate(page)
+	if err != nil {
+		return err
+	}
+	m.priceHintRevocation(page, lines, from)
+	return nil
+}
+
+// ClearPageHint restores the default majority-vote policy for page.
+func (m *Machine) ClearPageHint(page int64) error {
+	mgr, err := m.hintManager()
+	if err != nil {
+		return err
+	}
+	if err := m.checkPage(page); err != nil {
+		return err
+	}
+	mgr.ClearHint(page)
+	return nil
+}
+
+// priceHintRevocation moves a hint-revoked page's migrated lines back to
+// CXL memory and drops the old owner's cached copies, exactly like a
+// policy-driven revocation.
+func (m *Machine) priceHintRevocation(page int64, lines, from int) {
+	if from == pipmcore.NoHost {
+		return
+	}
+	m.applyRevocation(m.eng.Now(), page, pipmcore.Outcome{
+		Revoked:      true,
+		RevokedLines: lines,
+		RevokedFrom:  from,
+	})
+}

@@ -1,0 +1,108 @@
+package machine
+
+import (
+	"testing"
+
+	"pipm/internal/config"
+	"pipm/internal/migration"
+	"pipm/internal/stats"
+	"pipm/internal/trace"
+)
+
+func TestPinPageServesLocallyAfterWarmup(t *testing.T) {
+	cfg := testCfg()
+	m := build(t, cfg, migration.PIPM)
+	am := m.AddressMap()
+	// Pin page 0 to host 0 before the run; host 0 then scans it with
+	// eviction pressure so lines migrate and serve locally.
+	if err := m.PinPage(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var recs []trace.Record
+	for pass := 0; pass < 20; pass++ {
+		for l := 0; l < config.LinesPerPage; l++ {
+			recs = append(recs, rd(am.SharedAddr(config.Addr(l*config.LineBytes))))
+		}
+		for p := int64(1); p < 10; p++ { // eviction pressure
+			for l := 0; l < config.LinesPerPage; l++ {
+				recs = append(recs, rd(am.SharedAddr(config.Addr(p)*config.PageBytes+config.Addr(l*config.LineBytes))))
+			}
+		}
+	}
+	attachSingle(m, 0, recs)
+	run(t, m)
+	if m.Manager().Owner(0) != 0 {
+		t.Fatal("pinned page lost ownership")
+	}
+	if m.Stats().Served(stats.ClassLocalShared) == 0 {
+		t.Fatal("pinned page never served locally")
+	}
+}
+
+func TestNoMigratePageStaysInCXL(t *testing.T) {
+	cfg := testCfg()
+	m := build(t, cfg, migration.PIPM)
+	if err := m.SetPageNoMigrate(0); err != nil {
+		t.Fatal(err)
+	}
+	am := m.AddressMap()
+	var recs []trace.Record
+	for pass := 0; pass < 30; pass++ {
+		for l := 0; l < config.LinesPerPage; l++ {
+			recs = append(recs, rd(am.SharedAddr(config.Addr(l*config.LineBytes))))
+		}
+	}
+	attachSingle(m, 0, recs)
+	run(t, m)
+	if m.Manager().Owner(0) != -1 {
+		t.Fatal("no-migrate page got an owner")
+	}
+}
+
+func TestHintsRejectedOnWrongSchemes(t *testing.T) {
+	for _, k := range []migration.Kind{migration.Native, migration.Memtis, migration.HWStatic} {
+		m := build(t, testCfg(), k)
+		if err := m.PinPage(0, 0); err == nil {
+			t.Errorf("%v accepted PinPage", k)
+		}
+		if err := m.SetPageNoMigrate(0); err == nil {
+			t.Errorf("%v accepted SetPageNoMigrate", k)
+		}
+		if err := m.ClearPageHint(0); err == nil {
+			t.Errorf("%v accepted ClearPageHint", k)
+		}
+	}
+}
+
+func TestHintsRejectBadPages(t *testing.T) {
+	m := build(t, testCfg(), migration.PIPM)
+	cfg := m.Config()
+	pages := cfg.SharedPages()
+	for _, page := range []int64{-1, pages, pages + 100} {
+		if err := m.PinPage(page, 0); err == nil {
+			t.Errorf("PinPage accepted page %d", page)
+		}
+		if err := m.SetPageNoMigrate(page); err == nil {
+			t.Errorf("SetPageNoMigrate accepted page %d", page)
+		}
+		if err := m.ClearPageHint(page); err == nil {
+			t.Errorf("ClearPageHint accepted page %d", page)
+		}
+	}
+}
+
+func TestRePinMovesDataBetweenHosts(t *testing.T) {
+	m := build(t, testCfg(), migration.PIPM)
+	if err := m.PinPage(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PinPage(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Manager().Owner(3) != 1 {
+		t.Fatalf("owner = %d after re-pin, want 1", m.Manager().Owner(3))
+	}
+	if m.Manager().MigratedPages(0) != 0 {
+		t.Fatal("old owner still holds the page")
+	}
+}

@@ -1,0 +1,369 @@
+// Package machine assembles the full multi-host CXL-DSM system: N hosts
+// (cores with private L1Ds and a shared LLC, local DRAM), the CXL fabric,
+// the pooled CXL DRAM with its device coherence directory, and one of the
+// eight page-placement schemes under evaluation. It runs per-core memory
+// traces to completion on a deterministic event engine and exposes the
+// measurements the paper's figures are built from.
+//
+// Fidelity notes (see DESIGN.md §3): cores use a bounded-MLP window model;
+// cache/directory state updates apply at issue time; shared resources are
+// FCFS servers. Cores execute in time-quantum batches, so cross-core
+// resource ordering is exact only across quantum boundaries.
+package machine
+
+import (
+	"fmt"
+
+	"pipm/internal/cache"
+	"pipm/internal/coherence"
+	"pipm/internal/config"
+	pipmcore "pipm/internal/core"
+	"pipm/internal/cxl"
+	"pipm/internal/mem"
+	"pipm/internal/migration"
+	"pipm/internal/sim"
+	"pipm/internal/stats"
+	"pipm/internal/tlb"
+	"pipm/internal/trace"
+)
+
+// Machine is one configured system instance. Build with New, attach one
+// trace reader per core with SetTrace, then Run once.
+type Machine struct {
+	cfg    config.Config
+	amap   config.AddressMap
+	scheme migration.Kind
+
+	eng    *sim.Engine
+	fabric *cxl.Fabric
+	cxlMem *mem.DRAM
+	devDir *coherence.DeviceDir
+	hosts  []*host
+
+	// Kernel-scheme state.
+	policy   migration.Policy
+	pt       *migration.PageTable
+	tlbModel *tlb.Model
+	ledger   *migration.HarmfulLedger
+
+	// Hardware-scheme state (PIPM, HW-static).
+	mgr *pipmcore.Manager
+
+	col *stats.Collector
+
+	// Cached timing constants.
+	clock   sim.Clock
+	l1Lat   sim.Time
+	llcLat  sim.Time
+	quantum sim.Time
+	width   int64
+
+	liveCores int
+	ran       bool
+
+	audit     bool
+	auditErrs []string
+
+	dbgUp, dbgDir, dbgData, dbgDown sim.Time
+	dbgN                            uint64
+}
+
+func newCollector(cfg config.Config) *stats.Collector {
+	c := stats.New(cfg.Hosts)
+	c.CoresPerHost = cfg.CoresPerHost
+	return c
+}
+
+type host struct {
+	id    int
+	llc   *cache.Cache
+	dram  *mem.DRAM
+	cores []*coreState
+}
+
+// New builds a machine for the given configuration and scheme. The config
+// is validated; traces must be attached before Run.
+func New(cfg config.Config, scheme migration.Kind) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:     cfg,
+		amap:    config.NewAddressMap(&cfg),
+		scheme:  scheme,
+		eng:     sim.NewEngine(),
+		fabric:  cxl.New(cfg.Hosts, cfg.CXL),
+		cxlMem:  mem.New("cxl", cfg.CXLDRAM),
+		devDir:  coherence.NewDeviceDir(cfg.CXL),
+		col:     newCollector(cfg),
+		clock:   cfg.CoreClock(),
+		l1Lat:   cfg.L1D.Latency,
+		llcLat:  cfg.LLC.Latency,
+		quantum: 100 * sim.Nanosecond,
+		width:   int64(cfg.Width),
+	}
+	llcCfg := cfg.LLC
+	llcCfg.SizeBytes *= cfg.CoresPerHost // Table 2: 2MB per core, shared
+	for h := 0; h < cfg.Hosts; h++ {
+		hs := &host{
+			id:   h,
+			llc:  cache.New(fmt.Sprintf("h%d.llc", h), llcCfg),
+			dram: mem.New(fmt.Sprintf("h%d.dram", h), cfg.LocalDRAM),
+		}
+		for c := 0; c < cfg.CoresPerHost; c++ {
+			hs.cores = append(hs.cores, &coreState{
+				host: hs,
+				id:   c,
+				l1:   cache.New(fmt.Sprintf("h%d.c%d.l1d", h, c), cfg.L1D),
+				tlb:  tlb.NewTLB(cfg.TLBEntries, cfg.TLBWays),
+			})
+		}
+		m.hosts = append(m.hosts, hs)
+	}
+
+	pages := cfg.SharedPages()
+	switch {
+	case scheme.Kernel():
+		m.pt = migration.NewPageTable(pages, cfg.Hosts)
+		m.tlbModel = tlb.NewModel(cfg.Kernel)
+		m.ledger = migration.NewHarmfulLedger(m.estLocalLat(), m.estCXLLat(), m.estInterLat())
+		switch scheme {
+		case migration.Nomad:
+			m.policy = migration.NewNomad(pages, cfg.Hosts)
+		case migration.Memtis:
+			m.policy = migration.NewMemtis(pages, cfg.Hosts)
+		case migration.HeMem:
+			m.policy = migration.NewHeMem(pages, cfg.Hosts)
+		case migration.OSSkew:
+			m.policy = migration.NewOSSkew(pages, cfg.Hosts, cfg.PIPM.MigrationThreshold)
+		}
+	case scheme.Hardware():
+		m.mgr = pipmcore.NewManager(pipmcore.Params{
+			Hosts:              cfg.Hosts,
+			SharedPages:        pages,
+			Threshold:          cfg.PIPM.MigrationThreshold,
+			GlobalCacheEntries: cfg.GlobalRemapCacheEntries(),
+			GlobalCacheWays:    cfg.PIPM.GlobalRemapCacheWays,
+			LocalCacheEntries:  cfg.LocalRemapCacheEntries(),
+			LocalCacheWays:     cfg.PIPM.LocalRemapCacheWays,
+			Static:             scheme == migration.HWStatic,
+		})
+	}
+	return m, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() config.Config { return m.cfg }
+
+// AddressMap returns the machine's unified physical address layout.
+func (m *Machine) AddressMap() config.AddressMap { return m.amap }
+
+// Scheme returns the placement scheme under evaluation.
+func (m *Machine) Scheme() migration.Kind { return m.scheme }
+
+// SetTrace attaches a record stream to core c of host h.
+func (m *Machine) SetTrace(h, c int, r trace.Reader) {
+	m.hosts[h].cores[c].rd = r
+}
+
+// Stats returns the collector (valid after Run).
+func (m *Machine) Stats() *stats.Collector { return m.col }
+
+// HarmfulFraction returns Fig. 5's metric for kernel schemes, 0 otherwise.
+func (m *Machine) HarmfulFraction() float64 {
+	if m.ledger == nil {
+		return 0
+	}
+	return m.ledger.HarmfulFraction()
+}
+
+// Manager exposes PIPM hardware state for hardware schemes (nil otherwise).
+func (m *Machine) Manager() *pipmcore.Manager { return m.mgr }
+
+// Fabric exposes the CXL fabric for traffic inspection.
+func (m *Machine) Fabric() *cxl.Fabric { return m.fabric }
+
+// ExecTime returns the run's makespan.
+func (m *Machine) ExecTime() sim.Time { return m.col.ExecTime() }
+
+// IPC returns aggregate instructions per core-cycle.
+func (m *Machine) IPC() float64 { return m.col.IPC(m.clock, m.cfg.TotalCores()) }
+
+// Run executes all attached traces to completion. It may be called once.
+func (m *Machine) Run() error {
+	if m.ran {
+		return fmt.Errorf("machine: Run called twice")
+	}
+	m.ran = true
+	for _, hs := range m.hosts {
+		for _, c := range hs.cores {
+			if c.rd == nil {
+				return fmt.Errorf("machine: host %d core %d has no trace", hs.id, c.id)
+			}
+			m.liveCores++
+		}
+	}
+	for _, hs := range m.hosts {
+		for _, c := range hs.cores {
+			c := c
+			m.eng.At(0, func() { m.stepCore(c) })
+		}
+	}
+	if m.scheme.Kernel() {
+		m.eng.At(m.cfg.Kernel.Interval, m.kernelTick)
+	}
+	// Footprint sampling for every scheme, on the kernel interval cadence.
+	m.eng.At(m.cfg.Kernel.Interval/2, m.sampleFootprint)
+	m.eng.Run()
+	if m.ledger != nil {
+		m.ledger.Finish()
+	}
+	m.finalizeStats()
+	return nil
+}
+
+func (m *Machine) finalizeStats() {
+	for _, hs := range m.hosts {
+		st := m.col.Host(hs.id)
+		for _, c := range hs.cores {
+			st.Instructions += c.instr
+			st.MemOps += c.memOps
+			st.FinishTime = sim.Max(st.FinishTime, c.finish)
+		}
+	}
+	if m.mgr != nil {
+		ms := m.mgr.Stats()
+		m.col.Promotions = ms.Promotions
+		m.col.Demotions = ms.Revocations
+		m.col.LinesMoved = ms.LinesMigrated
+	}
+}
+
+// Latency estimates for the harmful-migration ledger, derived from the
+// configuration rather than measured, so the ledger is scheme-independent.
+func (m *Machine) estLocalLat() sim.Time {
+	d := m.cfg.LocalDRAM
+	return d.TRCD + d.TCL + 2*sim.Nanosecond
+}
+
+func (m *Machine) estCXLLat() sim.Time {
+	perDir := m.cfg.CXL.LinkLatency*sim.Time(1+m.cfg.CXL.SwitchHops) + 13*sim.Nanosecond
+	return 2*perDir + m.cfg.CXL.DirLatency + m.estLocalLat()
+}
+
+func (m *Machine) estInterLat() sim.Time {
+	perDir := m.cfg.CXL.LinkLatency*sim.Time(1+m.cfg.CXL.SwitchHops) + 13*sim.Nanosecond
+	return 4*perDir + m.cfg.CXL.DirLatency + m.estLocalLat() + m.llcLat
+}
+
+// kernelTick is the epoch boundary of kernel-based schemes: run the policy,
+// price the management and transfer work, and apply the page moves.
+func (m *Machine) kernelTick() {
+	if m.liveCores == 0 {
+		return
+	}
+	now := m.eng.Now()
+	budget := int(float64(m.cfg.SharedPages()) * m.cfg.Kernel.MaxLocalFrac)
+	if budget < 1 {
+		budget = 1
+	}
+	ops := m.policy.Tick(m.pt, budget)
+	if max := m.cfg.Kernel.MaxPagesPerEpoch; max > 0 && len(ops) > max {
+		ops = ops[:max]
+	}
+
+	if len(ops) > 0 {
+		costs := m.tlbModel.ForPages(len(ops))
+		// Batched TLB shootdowns stall every core in the system.
+		for _, hs := range m.hosts {
+			for _, c := range hs.cores {
+				c.pendingMgmt += costs.Remote
+			}
+		}
+		for _, op := range ops {
+			m.applyKernelOp(now, op)
+		}
+	}
+	m.eng.At(now+m.cfg.Kernel.Interval, m.kernelTick)
+}
+
+func (m *Machine) applyKernelOp(now sim.Time, op migration.Op) {
+	from := m.pt.Owner(op.Page)
+	if from == op.To {
+		return
+	}
+	base := m.amap.SharedAddr(config.Addr(op.Page) * config.PageBytes)
+
+	// All hosts drop cached lines and TLB translations of the page: its
+	// unified PA changes. Dirty data is folded into the page copy below.
+	firstLine := base.Line()
+	for _, hs := range m.hosts {
+		hs.llc.InvalidatePage(base.Page(), nil)
+		for _, c := range hs.cores {
+			c.l1.InvalidatePage(base.Page(), nil)
+			if c.tlb != nil {
+				c.tlb.Invalidate(base.Page())
+			}
+		}
+	}
+	for l := config.Addr(0); l < config.LinesPerPage; l++ {
+		m.devDir.Remove(firstLine + l)
+	}
+
+	// Price the data transfer (asynchronous: occupies DRAM and link
+	// bandwidth, contending with demand traffic, but stalls no core by
+	// itself).
+	initiator := op.To
+	if initiator == migration.ToCXL {
+		initiator = from
+	}
+	if op.To != migration.ToCXL {
+		// CXL → local: pooled read, link down to the new owner, local write.
+		t := m.cxlMem.AccessBulk(now, base, config.PageBytes, false)
+		t = m.fabric.DeviceToHostBG(t, op.To, config.PageBytes)
+		m.hosts[op.To].dram.AccessBulk(t, base, config.PageBytes, true)
+		m.col.Promotions++
+		m.ledger.OnMigration(op.Page, op.To)
+	} else {
+		// Local → CXL: local read, link up, pooled write.
+		t := m.hosts[from].dram.AccessBulk(now, base, config.PageBytes, false)
+		t = m.fabric.HostToDeviceBG(t, from, config.PageBytes)
+		m.cxlMem.AccessBulk(t, base, config.PageBytes, true)
+		m.col.Demotions++
+		m.ledger.OnDemotion(op.Page)
+	}
+	m.col.BytesMoved += config.PageBytes
+
+	// The initiating host additionally does the per-page kernel work
+	// (unmap, copy management, remap): a synchronous stall, spread across
+	// the host's cores (the paper applies multi-threaded, batched page
+	// transfers) — except under Nomad, whose transactional migration runs
+	// it asynchronously.
+	if m.scheme != migration.Nomad {
+		cores := m.hosts[initiator].cores
+		core := cores[int(m.col.Promotions+m.col.Demotions)%len(cores)]
+		core.pendingTransfer += m.tlbModel.InitiatorPerPage()
+	}
+
+	m.pt.Set(op.Page, op.To)
+}
+
+// sampleFootprint records each host's resident migrated pages/lines.
+func (m *Machine) sampleFootprint() {
+	if m.liveCores == 0 {
+		return
+	}
+	for h := 0; h < m.cfg.Hosts; h++ {
+		var pages, lines int64
+		switch {
+		case m.pt != nil:
+			pages = int64(m.pt.Resident(h))
+			lines = pages * config.LinesPerPage
+		case m.mgr != nil:
+			pages = int64(m.mgr.MigratedPages(h))
+			lines = int64(m.mgr.MigratedLines(h))
+		}
+		m.col.SampleFootprint(h, pages, lines)
+	}
+	m.eng.At(m.eng.Now()+m.cfg.Kernel.Interval, m.sampleFootprint)
+}

@@ -1,0 +1,495 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"pipm/internal/config"
+	"pipm/internal/migration"
+	"pipm/internal/sim"
+	"pipm/internal/stats"
+	"pipm/internal/trace"
+)
+
+// testCfg is a 2-host, 1-core-per-host system small enough for fast tests:
+// 16 KB LLC (256 lines), 64 KB shared heap (16 pages), 50 µs kernel epochs.
+func testCfg() config.Config {
+	c := config.Default()
+	c.Hosts = 2
+	c.CoresPerHost = 1
+	c.L1D = config.CacheConfig{SizeBytes: 4 << 10, Ways: 4, Latency: sim.Nanosecond}
+	c.LLC = config.CacheConfig{SizeBytes: 16 << 10, Ways: 8, Latency: 6 * sim.Nanosecond}
+	c.SharedBytes = 64 << 10
+	c.Kernel.Interval = 50 * sim.Microsecond
+	return c
+}
+
+// scanTrace walks lines of the given pages round-robin for n records.
+func scanTrace(m config.AddressMap, pages []int64, n int, gap uint32, writeEvery int) trace.Reader {
+	recs := make([]trace.Record, n)
+	li := 0
+	for i := range recs {
+		page := pages[(li/config.LinesPerPage)%len(pages)]
+		line := li % config.LinesPerPage
+		addr := m.SharedAddr(config.Addr(page)*config.PageBytes + config.Addr(line*config.LineBytes))
+		recs[i] = trace.Record{Gap: gap, Addr: addr, Write: writeEvery > 0 && i%writeEvery == 0}
+		li++
+	}
+	return trace.NewSliceReader(recs)
+}
+
+// privateTrace walks a host's private window.
+func privateTrace(m config.AddressMap, h, n int) trace.Reader {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i] = trace.Record{Gap: 8, Addr: m.PrivateAddr(h, config.Addr(i*config.LineBytes)%(1<<20))}
+	}
+	return trace.NewSliceReader(recs)
+}
+
+func pageRange(lo, hi int64) []int64 {
+	var ps []int64
+	for p := lo; p < hi; p++ {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// build constructs a machine or fails the test.
+func build(t *testing.T, cfg config.Config, k migration.Kind) *Machine {
+	t.Helper()
+	m, err := New(cfg, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// attachPartitioned gives each host a scan over its own page range —
+// the PIPM-friendly pattern (strong per-host locality).
+func attachPartitioned(m *Machine, n int) {
+	cfg := m.Config()
+	perHost := cfg.SharedPages() / int64(cfg.Hosts)
+	for h := 0; h < cfg.Hosts; h++ {
+		pages := pageRange(int64(h)*perHost, int64(h+1)*perHost)
+		for c := 0; c < cfg.CoresPerHost; c++ {
+			m.SetTrace(h, c, scanTrace(m.AddressMap(), pages, n, 8, 4))
+		}
+	}
+}
+
+// attachContested points every host at the same pages (interleaved hot
+// sharing — the migration-hostile pattern).
+func attachContested(m *Machine, n int) {
+	cfg := m.Config()
+	pages := pageRange(0, cfg.SharedPages())
+	for h := 0; h < cfg.Hosts; h++ {
+		for c := 0; c < cfg.CoresPerHost; c++ {
+			m.SetTrace(h, c, scanTrace(m.AddressMap(), pages, n, 8, 4))
+		}
+	}
+}
+
+func run(t *testing.T, m *Machine) {
+	t.Helper()
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRequiresTraces(t *testing.T) {
+	m := build(t, testCfg(), migration.Native)
+	if err := m.Run(); err == nil {
+		t.Fatal("Run without traces succeeded")
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	m := build(t, testCfg(), migration.Native)
+	attachPartitioned(m, 100)
+	run(t, m)
+	if err := m.Run(); err == nil {
+		t.Fatal("second Run succeeded")
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := testCfg()
+	cfg.Hosts = 0
+	if _, err := New(cfg, migration.Native); err == nil {
+		t.Fatal("New accepted broken config")
+	}
+}
+
+func TestPrivateOnlyNeverTouchesCXL(t *testing.T) {
+	m := build(t, testCfg(), migration.Native)
+	cfg := m.Config()
+	for h := 0; h < cfg.Hosts; h++ {
+		m.SetTrace(h, 0, privateTrace(m.AddressMap(), h, 5000))
+	}
+	run(t, m)
+	col := m.Stats()
+	if col.Served(stats.ClassCXL) != 0 || col.Served(stats.ClassInterHost) != 0 {
+		t.Fatalf("private workload produced CXL traffic: %s", col.Summary())
+	}
+	if m.Fabric().TotalBytes() != 0 {
+		t.Fatalf("fabric moved %d bytes for a private workload", m.Fabric().TotalBytes())
+	}
+	if col.Served(stats.ClassLocalPrivate) == 0 {
+		t.Fatal("no local DRAM accesses recorded")
+	}
+	if col.Instructions() != int64(2*5000*9) {
+		t.Fatalf("Instructions = %d, want %d", col.Instructions(), 2*5000*9)
+	}
+}
+
+func TestNativeSharedGoesToCXL(t *testing.T) {
+	m := build(t, testCfg(), migration.Native)
+	attachPartitioned(m, 20000)
+	run(t, m)
+	col := m.Stats()
+	if col.Served(stats.ClassCXL) == 0 {
+		t.Fatalf("no CXL accesses: %s", col.Summary())
+	}
+	if col.Served(stats.ClassLocalShared) != 0 {
+		t.Fatal("native scheme served shared data locally")
+	}
+	if col.LocalHitRate() != 0 {
+		t.Fatalf("native local hit rate = %v, want 0", col.LocalHitRate())
+	}
+	if m.ExecTime() <= 0 {
+		t.Fatal("zero exec time")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, k := range []migration.Kind{migration.Native, migration.PIPM, migration.Memtis} {
+		runOnce := func() (sim.Time, string) {
+			m := build(t, testCfg(), k)
+			attachPartitioned(m, 15000)
+			run(t, m)
+			return m.ExecTime(), m.Stats().Summary()
+		}
+		t1, s1 := runOnce()
+		t2, s2 := runOnce()
+		if t1 != t2 || s1 != s2 {
+			t.Fatalf("%v: runs diverge: %v/%v %q/%q", k, t1, t2, s1, s2)
+		}
+	}
+}
+
+func TestPIPMMigratesPartitionedWorkload(t *testing.T) {
+	m := build(t, testCfg(), migration.PIPM)
+	attachPartitioned(m, 60000)
+	run(t, m)
+	col := m.Stats()
+	if col.Promotions == 0 {
+		t.Fatalf("PIPM never promoted a page: %s", col.Summary())
+	}
+	if col.LinesMoved == 0 {
+		t.Fatal("PIPM never migrated a line incrementally")
+	}
+	if col.LocalHitRate() <= 0.1 {
+		t.Fatalf("PIPM local hit rate = %.2f on a partitioned workload", col.LocalHitRate())
+	}
+}
+
+func TestPIPMBeatsNativeOnPartitionedWorkload(t *testing.T) {
+	nat := build(t, testCfg(), migration.Native)
+	attachPartitioned(nat, 60000)
+	run(t, nat)
+	pipm := build(t, testCfg(), migration.PIPM)
+	attachPartitioned(pipm, 60000)
+	run(t, pipm)
+	if pipm.ExecTime() >= nat.ExecTime() {
+		t.Fatalf("PIPM (%v) not faster than native (%v) on partitioned workload",
+			pipm.ExecTime(), nat.ExecTime())
+	}
+}
+
+func TestPIPMSuppressesContestedMigration(t *testing.T) {
+	m := build(t, testCfg(), migration.PIPM)
+	attachContested(m, 40000)
+	run(t, m)
+	col := m.Stats()
+	// Interleaved access from both hosts must largely suppress promotion;
+	// any transient promotions must get revoked.
+	cfg := m.Config()
+	if col.Promotions > 0 && col.Demotions == 0 && m.Manager().MigratedPages(0)+m.Manager().MigratedPages(1) == int(cfg.SharedPages()) {
+		t.Fatalf("contested pages all stayed migrated: %s", col.Summary())
+	}
+	// The vote must not let inter-host traffic dominate.
+	inter := col.Served(stats.ClassInterHost)
+	cxl := col.Served(stats.ClassCXL)
+	if inter > cxl {
+		t.Fatalf("inter-host (%d) exceeds CXL (%d) on contested workload", inter, cxl)
+	}
+}
+
+func TestLocalOnlyIsFastest(t *testing.T) {
+	times := map[migration.Kind]sim.Time{}
+	for _, k := range []migration.Kind{migration.Native, migration.LocalOnly} {
+		m := build(t, testCfg(), k)
+		attachPartitioned(m, 30000)
+		run(t, m)
+		times[k] = m.ExecTime()
+	}
+	if times[migration.LocalOnly] >= times[migration.Native] {
+		t.Fatalf("local-only (%v) not faster than native (%v)",
+			times[migration.LocalOnly], times[migration.Native])
+	}
+}
+
+func TestLocalOnlyHitRateIsFull(t *testing.T) {
+	m := build(t, testCfg(), migration.LocalOnly)
+	attachPartitioned(m, 20000)
+	run(t, m)
+	if hr := m.Stats().LocalHitRate(); hr != 1 {
+		t.Fatalf("local-only hit rate = %v, want 1", hr)
+	}
+}
+
+func TestKernelSchemeMigratesAndPaysManagement(t *testing.T) {
+	m := build(t, testCfg(), migration.Memtis)
+	attachPartitioned(m, 100000)
+	run(t, m)
+	col := m.Stats()
+	if col.Promotions == 0 {
+		t.Fatalf("Memtis never migrated: %s", col.Summary())
+	}
+	if col.Served(stats.ClassLocalShared) == 0 {
+		t.Fatal("no local serves after migration")
+	}
+	var mgmt sim.Time
+	for h := range col.Hosts {
+		mgmt += col.Hosts[h].MgmtStall
+	}
+	if mgmt == 0 {
+		t.Fatal("kernel migration charged no management stalls")
+	}
+	if col.BytesMoved == 0 {
+		t.Fatal("kernel migration moved no bytes")
+	}
+}
+
+func TestKernelRemoteAccessIsInterHostAndUncached(t *testing.T) {
+	// Host 0 hammers pages; host 1 touches the same pages occasionally.
+	// After Memtis promotes them to host 0, host 1's accesses must become
+	// non-cacheable 4-hop inter-host accesses.
+	cfg := testCfg()
+	m := build(t, cfg, migration.Memtis)
+	am := m.AddressMap()
+	pages := pageRange(0, 4)
+	m.SetTrace(0, 0, scanTrace(am, pages, 150000, 4, 4))
+	m.SetTrace(1, 0, scanTrace(am, pages, 30000, 40, 0))
+	run(t, m)
+	col := m.Stats()
+	if col.Promotions == 0 {
+		t.Fatalf("no promotions: %s", col.Summary())
+	}
+	if col.Host(1).Served[stats.ClassInterHost] == 0 {
+		t.Fatalf("host 1 never paid inter-host accesses: %s", col.Summary())
+	}
+}
+
+func TestHarmfulLedgerActiveForKernelSchemes(t *testing.T) {
+	m := build(t, testCfg(), migration.Nomad)
+	attachContested(m, 120000)
+	run(t, m)
+	if m.Stats().Promotions == 0 {
+		t.Skip("nomad made no migrations in this configuration")
+	}
+	// On a fully contested workload the recency policy's migrations must
+	// be mostly harmful.
+	if hf := m.HarmfulFraction(); hf < 0.5 {
+		t.Fatalf("harmful fraction = %.2f on contested workload, want ≥ 0.5", hf)
+	}
+}
+
+func TestHWStaticServesOwnPartitionLocally(t *testing.T) {
+	m := build(t, testCfg(), migration.HWStatic)
+	// Hosts scan their round-robin-owned pages: host h touches pages ≡ h (mod 2).
+	cfg := m.Config()
+	for h := 0; h < cfg.Hosts; h++ {
+		var pages []int64
+		for p := int64(h); p < cfg.SharedPages(); p += int64(cfg.Hosts) {
+			pages = append(pages, p)
+		}
+		m.SetTrace(h, 0, scanTrace(m.AddressMap(), pages, 60000, 8, 4))
+	}
+	run(t, m)
+	col := m.Stats()
+	if col.LinesMoved == 0 {
+		t.Fatal("HW-static migrated no lines")
+	}
+	if col.LocalHitRate() <= 0.1 {
+		t.Fatalf("HW-static local hit rate = %.2f on aligned partitions", col.LocalHitRate())
+	}
+	// Static mapping never promotes or revokes pages.
+	if col.Promotions != 0 || col.Demotions != 0 {
+		t.Fatalf("HW-static changed page placement: %s", col.Summary())
+	}
+}
+
+func TestHWStaticMisalignedPartitionHurts(t *testing.T) {
+	// Hosts access each other's statically mapped pages: lines ping-pong.
+	alignedTime := func(aligned bool) sim.Time {
+		m := build(t, testCfg(), migration.HWStatic)
+		cfg := m.Config()
+		for h := 0; h < cfg.Hosts; h++ {
+			owner := h
+			if !aligned {
+				owner = (h + 1) % cfg.Hosts
+			}
+			var pages []int64
+			for p := int64(owner); p < cfg.SharedPages(); p += int64(cfg.Hosts) {
+				pages = append(pages, p)
+			}
+			m.SetTrace(h, 0, scanTrace(m.AddressMap(), pages, 40000, 8, 4))
+		}
+		run(t, m)
+		return m.ExecTime()
+	}
+	if alignedTime(true) >= alignedTime(false) {
+		t.Fatal("HW-static should be faster when access aligns with its static mapping")
+	}
+}
+
+func TestStallAttributionConsistent(t *testing.T) {
+	m := build(t, testCfg(), migration.Native)
+	attachPartitioned(m, 30000)
+	run(t, m)
+	col := m.Stats()
+	var total sim.Time
+	for h := range col.Hosts {
+		for _, s := range col.Hosts[h].Stall {
+			if s < 0 {
+				t.Fatal("negative stall")
+			}
+			total += s
+		}
+		if col.Hosts[h].FinishTime <= 0 {
+			t.Fatalf("host %d never finished", h)
+		}
+	}
+	if total == 0 {
+		t.Fatal("a memory-bound run recorded zero stalls")
+	}
+	// Stall can't exceed total core time.
+	var cap sim.Time
+	for h := range col.Hosts {
+		cap += col.Hosts[h].FinishTime * sim.Time(m.Config().CoresPerHost)
+	}
+	if total > cap {
+		t.Fatalf("stall %v exceeds core time %v", total, cap)
+	}
+}
+
+func TestFootprintSampling(t *testing.T) {
+	m := build(t, testCfg(), migration.PIPM)
+	attachPartitioned(m, 80000)
+	run(t, m)
+	if m.Stats().MeanPageFootprint() <= 0 {
+		t.Fatal("PIPM footprint never sampled above zero")
+	}
+	if m.Stats().MeanLineFootprint() <= 0 {
+		t.Fatal("line footprint zero")
+	}
+}
+
+func TestIPCBounded(t *testing.T) {
+	m := build(t, testCfg(), migration.Native)
+	attachPartitioned(m, 20000)
+	run(t, m)
+	ipc := m.IPC()
+	if ipc <= 0 || ipc > float64(m.Config().Width) {
+		t.Fatalf("IPC = %v out of (0, %d]", ipc, m.Config().Width)
+	}
+}
+
+func TestSwitchHopSlowsCXL(t *testing.T) {
+	base := testCfg()
+	m1 := build(t, base, migration.Native)
+	attachPartitioned(m1, 20000)
+	run(t, m1)
+
+	hop := testCfg()
+	hop.CXL.SwitchHops = 2
+	m2 := build(t, hop, migration.Native)
+	attachPartitioned(m2, 20000)
+	run(t, m2)
+	if m2.ExecTime() <= m1.ExecTime() {
+		t.Fatalf("switch hops did not slow CXL-bound run: %v vs %v", m2.ExecTime(), m1.ExecTime())
+	}
+}
+
+func TestDeterminismAllSchemes(t *testing.T) {
+	for _, k := range migration.Kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			runOnce := func() (sim.Time, string) {
+				m := build(t, testCfg(), k)
+				attachContested(m, 8000)
+				run(t, m)
+				return m.ExecTime(), m.Stats().Summary()
+			}
+			t1, s1 := runOnce()
+			t2, s2 := runOnce()
+			if t1 != t2 || s1 != s2 {
+				t.Fatalf("nondeterministic: %v vs %v / %q vs %q", t1, t2, s1, s2)
+			}
+		})
+	}
+}
+
+func TestMachineRunsFromBinaryTraces(t *testing.T) {
+	// Round-trip a generated trace through the binary format and replay it:
+	// results must be identical to the in-memory stream.
+	cfg := testCfg()
+	recs := make([]trace.Record, 0, 6000)
+	r := scanTrace(config.NewAddressMap(&cfg), pageRange(0, 8), 6000, 8, 4)
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	runWith := func(rd trace.Reader) sim.Time {
+		m := build(t, cfg, migration.PIPM)
+		m.SetTrace(0, 0, rd)
+		for h := 0; h < cfg.Hosts; h++ {
+			for c := 0; c < cfg.CoresPerHost; c++ {
+				if h == 0 && c == 0 {
+					continue
+				}
+				m.SetTrace(h, c, trace.NewSliceReader(nil))
+			}
+		}
+		run(t, m)
+		return m.ExecTime()
+	}
+	mem := runWith(trace.NewSliceReader(recs))
+	br, err := trace.NewBinaryReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := runWith(br)
+	if mem != bin {
+		t.Fatalf("binary replay diverges: %v vs %v", bin, mem)
+	}
+}

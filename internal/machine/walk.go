@@ -1,0 +1,631 @@
+package machine
+
+import (
+	"pipm/internal/cache"
+	"pipm/internal/coherence"
+	"pipm/internal/config"
+	pipmcore "pipm/internal/core"
+	"pipm/internal/migration"
+	"pipm/internal/sim"
+	"pipm/internal/stats"
+	"pipm/internal/trace"
+)
+
+// access services one memory reference issued at time t by core c. It
+// returns the completion time and the class the access was served from.
+// State updates (fills, evictions, directory transitions, policy counters)
+// are applied at issue time; completion only affects timing.
+func (m *Machine) access(t sim.Time, c *coreState, rec trace.Record) (sim.Time, stats.Class) {
+	// Address translation (when modelled): a TLB miss pays the page-walk
+	// latency before anything else can start.
+	if c.tlb != nil && !c.tlb.Lookup(rec.Addr) {
+		t += m.cfg.TLBWalkLatency
+	}
+
+	region, _ := m.amap.Region(rec.Addr)
+	if region != config.RegionShared {
+		return m.privateAccess(t, c, rec)
+	}
+
+	page := m.amap.SharedPageIndex(rec.Addr)
+	h := c.host.id
+
+	if m.audit && m.scheme != migration.LocalOnly {
+		// Local-only has no cross-host sharing semantics (every host's view
+		// is private by construction), so the coherence audit doesn't apply.
+		defer m.auditLine(rec.Addr.Line())
+	}
+
+	switch {
+	case m.scheme == migration.LocalOnly:
+		// Upper bound: shared data behaves as if it were local DRAM.
+		done, class := m.privateAccess(t, c, rec)
+		if class == stats.ClassLocalPrivate {
+			class = stats.ClassLocalShared
+		}
+		m.col.Host(h).Served[class]++
+		return done, class
+	case m.scheme.Kernel():
+		// Kernel policies observe the full access stream (PEBS samples and
+		// NUMA-hinting faults see loads regardless of cache state), not
+		// just LLC misses.
+		m.policy.RecordAccess(h, page, rec.Write)
+		if owner := m.pt.Owner(page); owner != migration.ToCXL && owner != h {
+			// The page's unified PA points into another host's GIM window:
+			// non-cacheable 4-hop access (Fig. 3 ①–⑤).
+			m.ledger.OnAccess(page, h)
+			return m.gimRemoteAccess(t, c, rec, owner)
+		}
+	}
+	return m.cacheableSharedAt(t, c, rec, page)
+}
+
+// privateAccess is the host-local path: L1 → LLC → local DRAM, no CXL.
+func (m *Machine) privateAccess(t sim.Time, c *coreState, rec trace.Record) (sim.Time, stats.Class) {
+	h := c.host
+	line := rec.Addr.Line()
+	st := m.col.Host(h.id)
+
+	if l1st, hit := c.l1.Lookup(line); hit {
+		if rec.Write && l1st != cache.Modified {
+			// In-host upgrade: the LLC arbitrates, other L1s invalidate.
+			c.l1.SetState(line, cache.Modified)
+			h.llc.SetState(line, cache.Modified)
+			m.invalidateOtherL1s(h, c, line)
+		}
+		st.Served[stats.ClassL1Hit]++
+		return t, stats.ClassL1Hit
+	}
+	tL := t + m.llcLat
+	if llcSt, hit := h.llc.Lookup(line); hit {
+		fillSt := llcSt
+		if rec.Write {
+			fillSt = cache.Modified
+			h.llc.SetState(line, cache.Modified)
+			m.invalidateOtherL1s(h, c, line)
+		}
+		m.fillL1(c, line, fillSt)
+		st.Served[stats.ClassLLCHit]++
+		return tL, stats.ClassLLCHit
+	}
+	done := h.dram.Access(tL, rec.Addr, false)
+	fillSt := cache.Exclusive
+	if rec.Write {
+		fillSt = cache.Modified
+	}
+	m.fillLLC(c, line, fillSt)
+	m.fillL1(c, line, fillSt)
+	st.Served[stats.ClassLocalPrivate]++
+	return done, stats.ClassLocalPrivate
+}
+
+// cacheableSharedAt is every cacheable shared-data path: Native's CXL-only
+// flow, kernel schemes when the page is unmigrated or migrated to the
+// requester, and the full PIPM/HW-static line-granularity flow.
+func (m *Machine) cacheableSharedAt(t sim.Time, c *coreState, rec trace.Record, page int64) (sim.Time, stats.Class) {
+	h := c.host
+	line := rec.Addr.Line()
+	st := m.col.Host(h.id)
+
+	if l1st, hit := c.l1.Lookup(line); hit {
+		if rec.Write && l1st == cache.Shared {
+			// Write to a shared line: upgrade through the device directory.
+			return m.writeUpgrade(t, c, rec)
+		}
+		if rec.Write && l1st == cache.Exclusive {
+			c.l1.SetState(line, cache.Modified)
+			h.llc.SetState(line, cache.Modified)
+		}
+		st.Served[stats.ClassL1Hit]++
+		return t, stats.ClassL1Hit
+	}
+
+	tL := t + m.llcLat
+	if llcSt, hit := h.llc.Lookup(line); hit {
+		if rec.Write && llcSt == cache.Shared {
+			return m.writeUpgrade(tL, c, rec)
+		}
+		fillSt := llcSt
+		if rec.Write && (llcSt == cache.Exclusive || llcSt == cache.Modified) {
+			fillSt = cache.Modified
+			h.llc.SetState(line, cache.Modified)
+			m.invalidateOtherL1s(h, c, line)
+		}
+		m.fillL1(c, line, fillSt)
+		st.Served[stats.ClassLLCHit]++
+		return tL, stats.ClassLLCHit
+	}
+
+	// LLC miss: the access becomes memory-visible — score it for the
+	// harmful-migration ledger (owner-side benefit is cache-filtered).
+	if m.ledger != nil {
+		m.ledger.OnAccess(page, h.id)
+	}
+
+	// Kernel scheme with the page migrated to this host: local DRAM.
+	if m.pt != nil && m.pt.Owner(page) == h.id {
+		done := h.dram.Access(tL, rec.Addr, false)
+		fillSt := cache.Exclusive
+		if rec.Write {
+			fillSt = cache.Modified
+		}
+		m.fillLLC(c, line, fillSt)
+		m.fillL1(c, line, fillSt)
+		st.Served[stats.ClassLocalShared]++
+		return done, stats.ClassLocalShared
+	}
+
+	// PIPM/HW-static: consult the local remapping structures first (the
+	// I vs I' resolution of §4.3: every shared LLC miss performs a local
+	// remapping table lookup).
+	if m.mgr != nil {
+		entry, cacheHit := m.mgr.LocalLookup(h.id, page)
+		tR := tL + m.cfg.PIPM.LocalRemapLatency
+		if !cacheHit {
+			// Walk the in-memory two-level table: one leaf read from local
+			// DRAM (the pinned root is free, §4.4).
+			tR = h.dram.Access(tR, m.remapTableAddr(h.id, page), false)
+		}
+		if entry != nil {
+			m.mgr.OwnerAccess(h.id, page)
+			if entry.Bitmap&(1<<uint(rec.Addr.LineInPage())) != 0 {
+				// I' → ME (case ③): served from local DRAM, no CXL traffic.
+				done := h.dram.Access(tR, m.localMigratedAddr(h.id, entry, rec.Addr), false)
+				m.fillLLC(c, line, cache.MigratedExclusive)
+				m.fillL1(c, line, cache.MigratedExclusive)
+				st.Served[stats.ClassLocalShared]++
+				return done, stats.ClassLocalShared
+			}
+		}
+		return m.pipmDeviceAccess(tR, c, rec, page)
+	}
+
+	// Native / kernel-unmigrated: plain coherent CXL access.
+	return m.cxlServe(tL, c, rec)
+}
+
+// pipmDeviceAccess is the PIPM/HW-static device-side flow: the global
+// remapping lookup, the majority vote, and — when the line is migrated to
+// another host — the forwarded inter-host fetch with incremental migration
+// back to CXL (cases ②⑤⑥ of Fig. 9).
+func (m *Machine) pipmDeviceAccess(t sim.Time, c *coreState, rec trace.Record, page int64) (sim.Time, stats.Class) {
+	h := c.host
+	st := m.col.Host(h.id)
+
+	out := m.mgr.DeviceAccess(h.id, page)
+	// The global remapping lookup happens on the device, in parallel with
+	// the directory lookup; a cache miss adds an in-memory table read.
+	extra := m.cfg.PIPM.GlobalRemapLatency
+	if !out.GCacheHit {
+		extra += m.cxlAccessTime(t, m.remapGlobalAddr(page))
+	}
+
+	if out.Revoked {
+		m.applyRevocation(t, page, out)
+	}
+
+	if g := out.Owner; g != pipmcore.NoHost && g != h.id && m.mgr.LineMigrated(g, page, rec.Addr.LineInPage()) {
+		// The line's latest copy lives in host g's local DRAM (I'/ME).
+		done := m.forwardedFetch(t+extra, c, rec, page, g)
+		st.Served[stats.ClassInterHost]++
+		return done, stats.ClassInterHost
+	}
+
+	return m.cxlServe(t+extra, c, rec)
+}
+
+// forwardedFetch prices the inter-host path to a migrated line: requester →
+// device → owner (local remap + DRAM or cache) → device → requester, with
+// the line demoted back to CXL memory and an asynchronous writeback.
+func (m *Machine) forwardedFetch(t sim.Time, c *coreState, rec trace.Record, page int64, g int) sim.Time {
+	h := c.host
+	line := rec.Addr.Line()
+	owner := m.hosts[g]
+
+	lat := (m.fabric.HostToDevice(t, h.id, 0) - t) +
+		(m.fabric.DirLookup(t, line) - t) +
+		(m.fabric.DeviceToHost(t, g, 0) - t)
+
+	// Owner side: if the block is cached (ME), it comes from the LLC and
+	// the copy downgrades (⑥ Inter-Rd: ME→S) or invalidates (⑤ Inter-Wr);
+	// otherwise (I') it is read from local DRAM with a remap-table lookup.
+	if ownSt, cached := owner.llc.Peek(line); cached && ownSt == cache.MigratedExclusive {
+		lat += m.llcLat
+		if rec.Write {
+			m.invalidateLineEverywhere(owner, line)
+		} else {
+			owner.llc.SetState(line, cache.Shared)
+			for _, oc := range owner.cores {
+				oc.l1.SetState(line, cache.Shared)
+			}
+		}
+	} else {
+		lat += m.cfg.PIPM.LocalRemapLatency
+		entry, _ := m.mgr.LocalLookup(g, page)
+		if entry != nil {
+			lat += owner.dram.Access(t, m.localMigratedAddr(g, entry, rec.Addr), false) - t
+		} else {
+			lat += owner.dram.Access(t, rec.Addr, false) - t
+		}
+	}
+
+	// Migrate back: clear the bit, asynchronously write the block to CXL
+	// memory, and let the device directory track the requester's copy.
+	m.mgr.DemoteLine(g, page, rec.Addr.LineInPage())
+	lat += m.fabric.HostToDevice(t, g, cxlDataBytes) - t
+	m.cxlMem.Access(t, rec.Addr, true) // async in-memory update
+
+	if rec.Write {
+		m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
+		m.fillLLC(c, line, cache.Modified)
+		m.fillL1(c, line, cache.Modified)
+	} else {
+		sharers := uint32(1) << uint(h.id)
+		if _, cached := owner.llc.Peek(line); cached {
+			sharers |= 1 << uint(g)
+		}
+		m.installDirEntry(line, coherence.Entry{State: coherence.DirShared, Sharers: sharers})
+		m.fillLLC(c, line, cache.Shared)
+		m.fillL1(c, line, cache.Shared)
+	}
+	return t + lat + (m.fabric.DeviceToHost(t, h.id, cxlDataBytes) - t)
+}
+
+const cxlDataBytes = config.LineBytes
+
+// cxlServe is the coherent CXL memory path shared by every cacheable
+// scheme: request up, device directory lookup, then — depending on the
+// directory state — a direct pooled-DRAM access, an owner forward, or a
+// sharer invalidation round.
+func (m *Machine) cxlServe(t sim.Time, c *coreState, rec trace.Record) (sim.Time, stats.Class) {
+	h := c.host
+	line := rec.Addr.Line()
+	st := m.col.Host(h.id)
+
+	// Every shared resource is reserved at issue time t (cores issue in
+	// near-global time order, so arrivals stay monotone and FCFS queueing
+	// is meaningful); the hop latencies then compose additively. Reserving
+	// mid-walk instead would interleave deep-walk timestamps with other
+	// cores' fresh issues and manufacture queueing that no real link sees.
+	upLat := m.fabric.HostToDevice(t, h.id, 0) - t
+	dirLat := m.fabric.DirLookup(t, line) - t
+	e, ok := m.devDir.Lookup(line)
+
+	var dataLat sim.Time
+	fillSt := cache.Exclusive
+	switch {
+	case ok && e.State == coherence.DirModified && int(e.Owner) != h.id:
+		// Owner forward (Fig. 2 ③④): device → owner cache → device.
+		g := int(e.Owner)
+		dataLat = (m.fabric.DeviceToHost(t, g, 0) - t) + m.llcLat +
+			(m.fabric.HostToDevice(t, g, cxlDataBytes) - t)
+		m.cxlMem.Access(t, rec.Addr, true) // async: memory now clean
+		if rec.Write {
+			m.invalidateLineEverywhere(m.hosts[g], line)
+			m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
+			fillSt = cache.Modified
+		} else {
+			m.downgradeLineAt(m.hosts[g], line)
+			sharers := uint32(1)<<uint(g) | uint32(1)<<uint(h.id)
+			m.installDirEntry(line, coherence.Entry{State: coherence.DirShared, Sharers: sharers})
+			fillSt = cache.Shared
+		}
+
+	case ok && e.State == coherence.DirShared:
+		if rec.Write {
+			// Invalidate every other sharer before granting ownership; the
+			// invalidation round-trips overlap, so charge the slowest.
+			var inv sim.Time
+			coherence.ForEachSharer(e.Sharers, func(g int) {
+				if g == h.id {
+					return
+				}
+				ack := (m.fabric.DeviceToHost(t, g, 0) - t) + (m.fabric.HostToDevice(t, g, 0) - t)
+				inv = sim.Max(inv, ack)
+				m.invalidateLineEverywhere(m.hosts[g], line)
+			})
+			dataLat = inv + (m.cxlMem.Access(t, rec.Addr, false) - t)
+			m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
+			fillSt = cache.Modified
+		} else {
+			dataLat = m.cxlMem.Access(t, rec.Addr, false) - t
+			m.installDirEntry(line, coherence.Entry{State: coherence.DirShared, Sharers: e.Sharers | 1<<uint(h.id)})
+			fillSt = cache.Shared
+		}
+
+	default:
+		// No cached copy anywhere (or we are the recorded owner after an
+		// eviction raced the directory): serve from pooled DRAM (Fig. 2 ⑦).
+		dataLat = m.cxlMem.Access(t, rec.Addr, false) - t
+		if rec.Write {
+			fillSt = cache.Modified
+		} else {
+			fillSt = cache.Exclusive
+		}
+		m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
+	}
+
+	downLat := m.fabric.DeviceToHost(t, h.id, cxlDataBytes) - t
+	done := t + upLat + dirLat + dataLat + downLat
+	m.dbgUp += upLat
+	m.dbgDir += dirLat
+	m.dbgData += dataLat
+	m.dbgDown += downLat
+	m.dbgN++
+	m.fillLLC(c, line, fillSt)
+	m.fillL1(c, line, fillSt)
+	st.Served[stats.ClassCXL]++
+	return done, stats.ClassCXL
+}
+
+// DebugHops reports mean per-hop latency of the cxlServe path.
+func (m *Machine) DebugHops() (up, dir, data, down sim.Time) {
+	if m.dbgN == 0 {
+		return
+	}
+	n := sim.Time(m.dbgN)
+	return m.dbgUp / n, m.dbgDir / n, m.dbgData / n, m.dbgDown / n
+}
+
+// writeUpgrade obtains write permission for a shared-state line: the device
+// directory invalidates other sharers, then grants M.
+func (m *Machine) writeUpgrade(t sim.Time, c *coreState, rec trace.Record) (sim.Time, stats.Class) {
+	h := c.host
+	line := rec.Addr.Line()
+
+	lat := (m.fabric.HostToDevice(t, h.id, 0) - t) + (m.fabric.DirLookup(t, line) - t)
+	if e, ok := m.devDir.Lookup(line); ok && e.State == coherence.DirShared {
+		var inv sim.Time
+		coherence.ForEachSharer(e.Sharers, func(g int) {
+			if g == h.id {
+				return
+			}
+			ack := (m.fabric.DeviceToHost(t, g, 0) - t) + (m.fabric.HostToDevice(t, g, 0) - t)
+			inv = sim.Max(inv, ack)
+			m.invalidateLineEverywhere(m.hosts[g], line)
+		})
+		lat += inv
+	}
+	done := t + lat + (m.fabric.DeviceToHost(t, h.id, 0) - t)
+	m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
+	h.llc.Fill(line, cache.Modified)
+	c.l1.Fill(line, cache.Modified)
+	m.invalidateOtherL1s(h, c, line)
+	m.col.Host(h.id).Served[stats.ClassCXL]++
+	return done, stats.ClassCXL
+}
+
+// gimRemoteAccess is the non-cacheable 4-hop path to a page migrated into
+// another host's local memory under a kernel scheme (Fig. 3 ①–⑤): no
+// caching at the requester, every reference pays the full traversal.
+func (m *Machine) gimRemoteAccess(t sim.Time, c *coreState, rec trace.Record, g int) (sim.Time, stats.Class) {
+	h := c.host
+	line := rec.Addr.Line()
+	owner := m.hosts[g]
+
+	reqBytes, respBytes := 0, cxlDataBytes
+	if rec.Write {
+		reqBytes, respBytes = cxlDataBytes, 0
+	}
+	lat := (m.fabric.HostToDevice(t, h.id, reqBytes) - t) +
+		(m.fabric.DeviceToHost(t, g, reqBytes) - t) + m.llcLat
+
+	// Owning host's local coherence directory (Fig. 3 ③): the LLC may hold
+	// the freshest copy.
+	if _, cached := owner.llc.Peek(line); cached {
+		if rec.Write {
+			m.invalidateLineEverywhere(owner, line)
+			owner.dram.Access(t, rec.Addr, true) // async local update
+		}
+	} else {
+		lat += owner.dram.Access(t, rec.Addr, rec.Write) - t
+	}
+
+	lat += (m.fabric.HostToDevice(t, g, respBytes) - t) +
+		(m.fabric.DeviceToHost(t, h.id, respBytes) - t)
+	m.col.Host(h.id).Served[stats.ClassInterHost]++
+	return t + lat, stats.ClassInterHost
+}
+
+// ----------------------------------------------------------- fill paths --
+
+// fillL1 installs a line in the requesting core's L1, folding any dirty
+// victim into the LLC (free: on-chip).
+func (m *Machine) fillL1(c *coreState, line config.Addr, st cache.State) {
+	ev, evicted := c.l1.Fill(line, st)
+	if evicted && ev.State.Dirty() {
+		if s, present := c.host.llc.Peek(ev.Line); present && s != cache.MigratedExclusive {
+			c.host.llc.SetState(ev.Line, cache.Modified)
+		}
+	}
+}
+
+// fillLLC installs a line in the host's LLC, handling the displaced victim:
+// this is where PIPM's incremental migration happens (case ① of Fig. 9).
+func (m *Machine) fillLLC(c *coreState, line config.Addr, st cache.State) {
+	h := c.host
+	ev, evicted := h.llc.Fill(line, st)
+	if !evicted {
+		return
+	}
+	m.handleLLCEviction(h, ev)
+}
+
+func (m *Machine) handleLLCEviction(h *host, ev cache.Eviction) {
+	// Inclusion: the victim leaves every L1 too; a dirty L1 copy upgrades
+	// the victim state.
+	vState := ev.State
+	for _, oc := range h.cores {
+		if st, ok := oc.l1.Invalidate(ev.Line); ok && st.Dirty() && !vState.Dirty() {
+			vState = cache.Modified
+		}
+	}
+
+	addr := ev.Line << config.LineShift
+	region, _ := m.amap.Region(addr)
+	now := m.eng.Now()
+
+	if region != config.RegionShared || m.scheme == migration.LocalOnly {
+		// Private data — or the Local-only upper bound, whose "shared" data
+		// is backed by local DRAM too.
+		if vState.Dirty() {
+			h.dram.Access(now, addr, true) // async writeback
+		}
+		return
+	}
+
+	page := m.amap.SharedPageIndex(addr)
+
+	// ME eviction (case ④): dirty data returns to local DRAM only.
+	if vState == cache.MigratedExclusive {
+		entry, _ := m.mgr.LocalLookup(h.id, page)
+		if entry != nil {
+			h.dram.Access(now, m.localMigratedAddr(h.id, entry, addr), true)
+		}
+		return
+	}
+
+	// Kernel scheme with the page migrated here: plain local writeback.
+	if m.pt != nil && m.pt.Owner(page) == h.id {
+		if vState.Dirty() {
+			h.dram.Access(now, addr, true)
+		}
+		return
+	}
+
+	// PIPM incremental migration (case ①): an M — or, with the E extension,
+	// E — eviction of a block whose page is partially migrated to this host
+	// writes the block to local DRAM and flips the in-memory bits instead
+	// of writing back to CXL.
+	if m.mgr != nil {
+		if m.mgr.Owner(page) == h.id &&
+			(vState == cache.Modified || (vState == cache.Exclusive && m.cfg.PIPM.MigrateOnExclusiveEviction)) {
+			entry, _ := m.mgr.LocalLookup(h.id, page)
+			if entry != nil && m.mgr.MigrateLine(h.id, page, int(ev.Line)&(config.LinesPerPage-1)) {
+				h.dram.Access(now, m.localMigratedAddr(h.id, entry, addr), true)
+				// The CXL-side in-memory bit flips too, but it lives in ECC
+				// spare bits and piggybacks on subsequent accesses (§4.3.2
+				// footnote) — a background header is the only traffic.
+				m.fabric.HostToDeviceBG(now, h.id, 0)
+				m.devDir.Remove(ev.Line)
+				return
+			}
+		}
+	}
+
+	// Ordinary CXL writeback / silent clean eviction.
+	if vState.Dirty() {
+		t := m.fabric.HostToDeviceBG(now, h.id, cxlDataBytes)
+		m.cxlMem.Access(t, addr, true)
+		m.devDir.Remove(ev.Line)
+	} else {
+		m.devDir.RemoveSharer(ev.Line, h.id)
+	}
+}
+
+// ------------------------------------------------------------- helpers --
+
+// installDirEntry updates the device directory, servicing any capacity
+// back-invalidation (the displaced line leaves all host caches; dirty data
+// is written back asynchronously).
+func (m *Machine) installDirEntry(line config.Addr, e coherence.Entry) {
+	bi, evicted := m.devDir.Update(line, e)
+	if !evicted {
+		return
+	}
+	now := m.eng.Now()
+	switch bi.Entry.State {
+	case coherence.DirModified:
+		g := int(bi.Entry.Owner)
+		m.invalidateLineEverywhere(m.hosts[g], bi.Line)
+		t := m.fabric.HostToDeviceBG(now, g, cxlDataBytes)
+		m.cxlMem.Access(t, bi.Line<<config.LineShift, true)
+	case coherence.DirShared:
+		coherence.ForEachSharer(bi.Entry.Sharers, func(g int) {
+			m.invalidateLineEverywhere(m.hosts[g], bi.Line)
+		})
+	}
+}
+
+// invalidateLineEverywhere drops a line from a host's LLC and every L1.
+func (m *Machine) invalidateLineEverywhere(h *host, line config.Addr) {
+	h.llc.Invalidate(line)
+	for _, oc := range h.cores {
+		oc.l1.Invalidate(line)
+	}
+}
+
+// downgradeLineAt moves a host's copies of line to Shared.
+func (m *Machine) downgradeLineAt(h *host, line config.Addr) {
+	h.llc.SetState(line, cache.Shared)
+	for _, oc := range h.cores {
+		oc.l1.SetState(line, cache.Shared)
+	}
+}
+
+// invalidateOtherL1s drops line from every L1 on the host except c's.
+func (m *Machine) invalidateOtherL1s(h *host, c *coreState, line config.Addr) {
+	for _, oc := range h.cores {
+		if oc != c {
+			oc.l1.Invalidate(line)
+		}
+	}
+}
+
+// applyRevocation prices a partial-migration revocation (§4.2 ⑥): every
+// migrated block of the page moves from the old owner's local DRAM back to
+// its original CXL location, and the owner's cached ME blocks drop.
+func (m *Machine) applyRevocation(t sim.Time, page int64, out pipmcore.Outcome) {
+	g := out.RevokedFrom
+	owner := m.hosts[g]
+	base := m.amap.SharedAddr(config.Addr(page) * config.PageBytes)
+	// Dropped cache lines leave the device directory too; dirty CXL-backed
+	// copies write back (migrated ME data travels with the bulk transfer
+	// below).
+	owner.llc.InvalidatePage(base.Page(), func(l config.Addr, st cache.State) {
+		if st == cache.Modified {
+			wb := m.fabric.HostToDeviceBG(t, g, cxlDataBytes)
+			m.cxlMem.Access(wb, l<<config.LineShift, true)
+		}
+		m.devDir.RemoveSharer(l, g)
+	})
+	for _, oc := range owner.cores {
+		oc.l1.InvalidatePage(base.Page(), nil)
+	}
+	if out.RevokedLines == 0 {
+		return
+	}
+	bytes := out.RevokedLines * config.LineBytes
+	tt := owner.dram.AccessBulk(t, base, bytes, false)
+	tt = m.fabric.HostToDeviceBG(tt, g, bytes)
+	m.cxlMem.AccessBulk(tt, base, bytes, true)
+	m.col.BytesMoved += uint64(bytes)
+}
+
+// localMigratedAddr maps a migrated block to an address in the owner's
+// local DRAM window, derived from the allocated local PFN so bank mapping
+// behaves like real placement.
+func (m *Machine) localMigratedAddr(h int, entry *pipmcore.LocalEntry, addr config.Addr) config.Addr {
+	off := (config.Addr(entry.PFN)*config.PageBytes + config.Addr(addr)&(config.PageBytes-1)) %
+		config.Addr(m.cfg.LocalDRAM.CapacityBytes)
+	return m.amap.PrivateAddr(h, off)
+}
+
+// remapTableAddr locates a page's local remapping leaf entry in the owner's
+// local DRAM for table-walk pricing.
+func (m *Machine) remapTableAddr(h int, page int64) config.Addr {
+	off := config.Addr(page*4) % config.Addr(m.cfg.LocalDRAM.CapacityBytes)
+	return m.amap.PrivateAddr(h, off)
+}
+
+// remapGlobalAddr locates a page's global remapping entry in CXL memory.
+func (m *Machine) remapGlobalAddr(page int64) config.Addr {
+	return m.amap.SharedAddr(config.Addr(page*2) % m.amap.SharedBytes())
+}
+
+// cxlAccessTime prices a single metadata access to CXL DRAM from the
+// device side (no link traversal: the global remapping cache and table both
+// live on the memory node), measured from the walk's current time t.
+func (m *Machine) cxlAccessTime(t sim.Time, addr config.Addr) sim.Time {
+	return m.cxlMem.Access(t, addr, false) - t
+}

@@ -1,0 +1,99 @@
+package migration
+
+import "pipm/internal/sim"
+
+// HarmfulLedger implements Fig. 5's metric. A page migration is harmful
+// when it increases overall execution time: the owner's accesses get faster
+// (CXL latency → local latency) but every other host's access to the page
+// becomes a 4-hop non-cacheable inter-host access (CXL latency → inter-host
+// latency). The ledger scores each migration over its residency window and
+// classifies it when the page is demoted (or at the end of the run).
+type HarmfulLedger struct {
+	// Per-access latency estimates supplied by the machine from its
+	// configuration (local DRAM, 2-hop CXL, 4-hop inter-host).
+	latLocal, latCXL, latInter sim.Time
+
+	active  map[int64]*migScore
+	harmful uint64
+	benign  uint64
+}
+
+type migScore struct {
+	owner      int
+	ownerAccs  uint64
+	remoteAccs uint64
+}
+
+// NewHarmfulLedger builds a ledger with the machine's latency estimates.
+func NewHarmfulLedger(latLocal, latCXL, latInter sim.Time) *HarmfulLedger {
+	return &HarmfulLedger{
+		latLocal: latLocal, latCXL: latCXL, latInter: latInter,
+		active: make(map[int64]*migScore),
+	}
+}
+
+// OnMigration opens a scoring window for page, newly resident at owner.
+// A page already being scored is closed (re-migration) first.
+func (l *HarmfulLedger) OnMigration(page int64, owner int) {
+	if s, ok := l.active[page]; ok {
+		l.close(s)
+	}
+	l.active[page] = &migScore{owner: owner}
+}
+
+// OnAccess records a memory-visible access to page by host; no-op for
+// pages not under scoring.
+func (l *HarmfulLedger) OnAccess(page int64, host int) {
+	s, ok := l.active[page]
+	if !ok {
+		return
+	}
+	if host == s.owner {
+		s.ownerAccs++
+	} else {
+		s.remoteAccs++
+	}
+}
+
+// OnDemotion closes page's scoring window.
+func (l *HarmfulLedger) OnDemotion(page int64) {
+	if s, ok := l.active[page]; ok {
+		l.close(s)
+		delete(l.active, page)
+	}
+}
+
+// Finish closes all open windows (end of run).
+func (l *HarmfulLedger) Finish() {
+	for page, s := range l.active {
+		l.close(s)
+		delete(l.active, page)
+	}
+}
+
+func (l *HarmfulLedger) close(s *migScore) {
+	// Owner benefit: each memory-visible owner access trades a CXL access
+	// for a local one. Remote harm: each remote access pays the 4-hop
+	// latency AND loses cacheability — without the migration, roughly half
+	// of those references would have hit in cache (latCXL/2 expected cost).
+	benefit := int64(s.ownerAccs) * int64(l.latCXL-l.latLocal)
+	harm := int64(s.remoteAccs) * (int64(l.latInter) - int64(l.latCXL)/2)
+	if harm > benefit {
+		l.harmful++
+	} else {
+		l.benign++
+	}
+}
+
+// Harmful and Total return classified migration counts.
+func (l *HarmfulLedger) Harmful() uint64 { return l.harmful }
+func (l *HarmfulLedger) Total() uint64   { return l.harmful + l.benign }
+
+// HarmfulFraction returns harmful/total, or 0 with no migrations.
+func (l *HarmfulLedger) HarmfulFraction() float64 {
+	t := l.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(l.harmful) / float64(t)
+}

@@ -1,0 +1,67 @@
+package migration
+
+// pageCounts is dense per-page, per-host access counting shared by the
+// kernel policies. Counters saturate rather than wrap.
+type pageCounts struct {
+	hosts  int
+	counts []uint32 // page*hosts + host
+}
+
+func newPageCounts(pages int64, hosts int) *pageCounts {
+	return &pageCounts{hosts: hosts, counts: make([]uint32, pages*int64(hosts))}
+}
+
+func (pc *pageCounts) record(host int, page int64) {
+	i := page*int64(pc.hosts) + int64(host)
+	if pc.counts[i] != ^uint32(0) {
+		pc.counts[i]++
+	}
+}
+
+// total returns the sum of all hosts' counts for page.
+func (pc *pageCounts) total(page int64) uint64 {
+	base := page * int64(pc.hosts)
+	var t uint64
+	for h := 0; h < pc.hosts; h++ {
+		t += uint64(pc.counts[base+int64(h)])
+	}
+	return t
+}
+
+// top returns the host with the highest count for page and that count.
+// Ties resolve to the lowest host index, deterministically.
+func (pc *pageCounts) top(page int64) (host int, count uint32) {
+	base := page * int64(pc.hosts)
+	host = 0
+	count = pc.counts[base]
+	for h := 1; h < pc.hosts; h++ {
+		if c := pc.counts[base+int64(h)]; c > count {
+			host, count = h, c
+		}
+	}
+	return host, count
+}
+
+// lead returns top host's count minus the sum of all other hosts' counts —
+// the majority-vote margin OS-skew promotes on.
+func (pc *pageCounts) lead(page int64) (host int, margin int64) {
+	h, c := pc.top(page)
+	others := int64(pc.total(page)) - int64(c)
+	return h, int64(c) - others
+}
+
+// halve decays every counter by half (cooling).
+func (pc *pageCounts) halve() {
+	for i := range pc.counts {
+		pc.counts[i] >>= 1
+	}
+}
+
+// clear zeroes every counter.
+func (pc *pageCounts) clear() {
+	for i := range pc.counts {
+		pc.counts[i] = 0
+	}
+}
+
+func (pc *pageCounts) pages() int64 { return int64(len(pc.counts)) / int64(pc.hosts) }

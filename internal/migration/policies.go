@@ -1,0 +1,288 @@
+package migration
+
+// The four kernel policies. All receive the same memory-visible access
+// stream and emit page movements at epoch boundaries; they differ exactly
+// where the paper says they differ — what "hot" means and whether other
+// hosts' interest suppresses a migration.
+
+// ---------------------------------------------------------------- Nomad --
+
+// NomadPolicy is the recency-based policy (§3.2, [90]): a page touched in
+// two consecutive epochs is promoted to its most recent toucher; a resident
+// page untouched for demoteAfter epochs is demoted. Nomad's distinguishing
+// mechanism — asynchronous transactional migration — is priced by the
+// machine (no initiator stall), not here.
+type NomadPolicy struct {
+	counts      *pageCounts
+	touchedPrev []bool
+	touchedCur  []bool
+	idleEpochs  []uint8
+	demoteAfter uint8
+}
+
+// NewNomad builds the policy for a pool of pages across hosts.
+func NewNomad(pages int64, hosts int) *NomadPolicy {
+	return &NomadPolicy{
+		counts:      newPageCounts(pages, hosts),
+		touchedPrev: make([]bool, pages),
+		touchedCur:  make([]bool, pages),
+		idleEpochs:  make([]uint8, pages),
+		demoteAfter: 4,
+	}
+}
+
+// Name implements Policy.
+func (p *NomadPolicy) Name() string { return "nomad" }
+
+// RecordAccess implements Policy.
+func (p *NomadPolicy) RecordAccess(host int, page int64, write bool) {
+	p.counts.record(host, page)
+	p.touchedCur[page] = true
+}
+
+// Tick implements Policy.
+func (p *NomadPolicy) Tick(pt *PageTable, budgetPerHost int) []Op {
+	var ops []Op
+	planned := make([]int, p.counts.hosts)
+	for page := int64(0); page < pt.Pages(); page++ {
+		owner := pt.Owner(page)
+		switch {
+		case p.touchedCur[page] && p.touchedPrev[page]:
+			// Recently and repeatedly touched: place at the top toucher.
+			// Recency-based policies do not ask who else uses the page —
+			// that blindness is what Fig. 5 measures. A resident page only
+			// bounces when the new toucher clearly dominates the owner.
+			h, c := p.counts.top(page)
+			if c > 0 && h != owner && pt.Resident(h)+planned[h] < budgetPerHost {
+				if owner == ToCXL || ownerCount(p.counts, page, owner)*2 < int64(c) {
+					ops = append(ops, Op{Page: page, To: h})
+					planned[h]++
+				}
+			}
+		case owner != ToCXL && !p.touchedCur[page]:
+			p.idleEpochs[page]++
+			if p.idleEpochs[page] >= p.demoteAfter {
+				ops = append(ops, Op{Page: page, To: ToCXL})
+				p.idleEpochs[page] = 0
+			}
+		default:
+			p.idleEpochs[page] = 0
+		}
+		p.touchedPrev[page] = p.touchedCur[page]
+		p.touchedCur[page] = false
+	}
+	p.counts.halve() // recency: old counts fade fast
+	return ops
+}
+
+// --------------------------------------------------------------- Memtis --
+
+// MemtisPolicy is the frequency-based policy ([45]): per-page access counts
+// with periodic decay feed a histogram; the hot threshold is chosen each
+// epoch so the hot set fits the local-memory budget. Hot pages are promoted
+// to their dominant accessor, resident pages falling below the threshold
+// are demoted.
+type MemtisPolicy struct {
+	counts *pageCounts
+	hosts  int
+}
+
+// NewMemtis builds the policy.
+func NewMemtis(pages int64, hosts int) *MemtisPolicy {
+	return &MemtisPolicy{counts: newPageCounts(pages, hosts), hosts: hosts}
+}
+
+// Name implements Policy.
+func (p *MemtisPolicy) Name() string { return "memtis" }
+
+// RecordAccess implements Policy.
+func (p *MemtisPolicy) RecordAccess(host int, page int64, write bool) {
+	p.counts.record(host, page)
+}
+
+// Tick implements Policy.
+func (p *MemtisPolicy) Tick(pt *PageTable, budgetPerHost int) []Op {
+	pages := pt.Pages()
+	// Histogram of log2(total count) buckets, as Memtis builds from PEBS.
+	var hist [33]int64
+	for page := int64(0); page < pages; page++ {
+		if t := p.counts.total(page); t > 0 {
+			hist[log2u64(t)+1]++
+		}
+	}
+	// Walk buckets hottest-first until the budget (across all hosts) fills;
+	// that bucket's floor is the hot threshold.
+	budget := int64(budgetPerHost * p.hosts)
+	var acc int64
+	threshold := uint64(1)
+	for b := len(hist) - 1; b >= 1; b-- {
+		acc += hist[b]
+		threshold = uint64(1) << uint(b-1)
+		if acc >= budget {
+			break
+		}
+	}
+
+	cold := threshold / 4
+	if cold < 1 {
+		cold = 1
+	}
+	var ops []Op
+	planned := make([]int, p.hosts)
+	pressure := make([]int, p.hosts) // resident count under eviction pressure
+	for h := range pressure {
+		pressure[h] = pt.Resident(h)
+	}
+	for page := int64(0); page < pages; page++ {
+		t := p.counts.total(page)
+		owner := pt.Owner(page)
+		switch {
+		case t >= threshold && owner == ToCXL:
+			h, c := p.counts.top(page)
+			if c > 0 && pt.Resident(h)+planned[h] < budgetPerHost {
+				ops = append(ops, Op{Page: page, To: h})
+				planned[h]++
+			}
+		case t >= threshold && owner != ToCXL:
+			// Hot page whose dominant accessor clearly moved (2× everyone
+			// else combined): follow it. Symmetric contention stays put.
+			if h, c := p.counts.top(page); c > 0 && h != owner &&
+				uint64(c)*3 > t*2 && pt.Resident(h)+planned[h] < budgetPerHost {
+				ops = append(ops, Op{Page: page, To: h})
+				planned[h]++
+			}
+		case t < cold && owner != ToCXL && pressure[owner] > budgetPerHost*3/4:
+			// Memtis demotes under memory pressure, not merely because a
+			// count decayed below the histogram threshold — otherwise
+			// resident pages thrash between tiers every epoch.
+			ops = append(ops, Op{Page: page, To: ToCXL})
+			pressure[owner]--
+		}
+	}
+	p.counts.halve()
+	return ops
+}
+
+// ownerCount returns owner's access count for page.
+func ownerCount(pc *pageCounts, page int64, owner int) int64 {
+	if owner < 0 {
+		return 0
+	}
+	return int64(pc.counts[page*int64(pc.hosts)+int64(owner)])
+}
+
+func log2u64(x uint64) int {
+	n := -1
+	for x != 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// ---------------------------------------------------------------- HeMem --
+
+// HeMemPolicy is the coarser frequency policy ([68]): a fixed hotness
+// threshold with periodic cooling (halving) every coolEvery epochs. Pages
+// crossing the threshold promote; resident pages whose count cools to zero
+// demote.
+type HeMemPolicy struct {
+	counts    *pageCounts
+	threshold uint64
+	coolEvery int
+	epoch     int
+}
+
+// NewHeMem builds the policy with HeMem's canonical threshold of 8.
+func NewHeMem(pages int64, hosts int) *HeMemPolicy {
+	return &HeMemPolicy{counts: newPageCounts(pages, hosts), threshold: 8, coolEvery: 2}
+}
+
+// Name implements Policy.
+func (p *HeMemPolicy) Name() string { return "hemem" }
+
+// RecordAccess implements Policy.
+func (p *HeMemPolicy) RecordAccess(host int, page int64, write bool) {
+	p.counts.record(host, page)
+}
+
+// Tick implements Policy.
+func (p *HeMemPolicy) Tick(pt *PageTable, budgetPerHost int) []Op {
+	var ops []Op
+	planned := make([]int, p.counts.hosts)
+	for page := int64(0); page < pt.Pages(); page++ {
+		t := p.counts.total(page)
+		owner := pt.Owner(page)
+		switch {
+		case t >= p.threshold && owner == ToCXL:
+			h, c := p.counts.top(page)
+			if c > 0 && pt.Resident(h)+planned[h] < budgetPerHost {
+				ops = append(ops, Op{Page: page, To: h})
+				planned[h]++
+			}
+		case t >= p.threshold && owner != ToCXL:
+			if h, c := p.counts.top(page); c > 0 && h != owner &&
+				uint64(c)*3 > t*2 && pt.Resident(h)+planned[h] < budgetPerHost {
+				ops = append(ops, Op{Page: page, To: h})
+				planned[h]++
+			}
+		case t == 0 && owner != ToCXL:
+			ops = append(ops, Op{Page: page, To: ToCXL})
+		}
+	}
+	p.epoch++
+	if p.epoch%p.coolEvery == 0 {
+		p.counts.halve()
+	}
+	return ops
+}
+
+// -------------------------------------------------------------- OS-skew --
+
+// OSSkewPolicy is the ablation of §5.1.3: PIPM's majority-vote promotion
+// rule applied at page granularity through the kernel mechanism. A page is
+// promoted only when one host's accesses exceed all other hosts' combined
+// by the threshold (the vote margin), and demoted once other hosts' traffic
+// erases the margin — the side-effect awareness the traditional policies
+// above lack.
+type OSSkewPolicy struct {
+	counts    *pageCounts
+	threshold int64
+}
+
+// NewOSSkew builds the policy with the PIPM migration threshold.
+func NewOSSkew(pages int64, hosts int, threshold int) *OSSkewPolicy {
+	return &OSSkewPolicy{counts: newPageCounts(pages, hosts), threshold: int64(threshold)}
+}
+
+// Name implements Policy.
+func (p *OSSkewPolicy) Name() string { return "os-skew" }
+
+// RecordAccess implements Policy.
+func (p *OSSkewPolicy) RecordAccess(host int, page int64, write bool) {
+	p.counts.record(host, page)
+}
+
+// Tick implements Policy.
+func (p *OSSkewPolicy) Tick(pt *PageTable, budgetPerHost int) []Op {
+	var ops []Op
+	planned := make([]int, p.counts.hosts)
+	for page := int64(0); page < pt.Pages(); page++ {
+		h, margin := p.counts.lead(page)
+		owner := pt.Owner(page)
+		switch {
+		case owner == ToCXL && margin >= p.threshold:
+			if pt.Resident(h)+planned[h] < budgetPerHost {
+				ops = append(ops, Op{Page: page, To: h})
+				planned[h]++
+			}
+		case owner != ToCXL && h != owner && margin >= p.threshold:
+			// Another host now clearly leads the vote: pull the page back
+			// before remote hosts keep paying 4-hop accesses. (Idle pages
+			// stay put — they harm nobody.)
+			ops = append(ops, Op{Page: page, To: ToCXL})
+		}
+	}
+	p.counts.halve()
+	return ops
+}

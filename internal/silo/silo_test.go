@@ -1,0 +1,184 @@
+package silo
+
+import (
+	"testing"
+
+	"pipm/internal/config"
+	"pipm/internal/trace"
+)
+
+func testStore(t *testing.T) (*Store, config.AddressMap) {
+	t.Helper()
+	c := config.Default()
+	c.SharedBytes = 8 << 20
+	am := config.NewAddressMap(&c)
+	s, err := NewStore(am, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, am
+}
+
+func TestStoreSizing(t *testing.T) {
+	s, am := testStore(t)
+	if s.Records() <= 0 || s.Records()%16 != 0 {
+		t.Fatalf("Records = %d, want positive warehouse multiple", s.Records())
+	}
+	// The last record's last line must fit the heap.
+	last := s.recordAddr(s.Records()-1, RecordLines-1)
+	if kind, _ := am.Region(last + config.LineBytes - 1); kind != config.RegionShared {
+		t.Fatal("record heap overflows the shared region")
+	}
+}
+
+func TestStoreRejectsBadShapes(t *testing.T) {
+	c := config.Default()
+	c.SharedBytes = 8 << 20
+	am := config.NewAddressMap(&c)
+	if _, err := NewStore(am, 0, 16); err == nil {
+		t.Fatal("0 hosts accepted")
+	}
+	if _, err := NewStore(am, 4, 2); err == nil {
+		t.Fatal("fewer warehouses than hosts accepted")
+	}
+	tiny := config.Default()
+	tiny.SharedBytes = config.PageBytes
+	tam := config.NewAddressMap(&tiny)
+	if _, err := NewStore(tam, 4, 1<<20); err == nil {
+		t.Fatal("oversized warehouse count accepted")
+	}
+}
+
+func drain(t *testing.T, r trace.Reader, n int64) []trace.Record {
+	t.Helper()
+	var recs []trace.Record
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if int64(len(recs)) != n {
+		t.Fatalf("yielded %d records, want %d", len(recs), n)
+	}
+	return recs
+}
+
+func TestReadersYieldBudgetAndValidAddresses(t *testing.T) {
+	s, am := testStore(t)
+	for _, o := range []Op{YCSB, TPCC} {
+		recs := drain(t, s.NewReader(o, 2, 1, 2, 30000, 7), 30000)
+		for _, rec := range recs {
+			if kind, _ := am.Region(rec.Addr); kind != config.RegionShared {
+				t.Fatalf("%v: address %#x outside shared heap", o, uint64(rec.Addr))
+			}
+		}
+	}
+}
+
+func TestReaderDeterminism(t *testing.T) {
+	s, _ := testStore(t)
+	a := drain(t, s.NewReader(TPCC, 1, 0, 1, 5000, 3), 5000)
+	b := drain(t, s.NewReader(TPCC, 1, 0, 1, 5000, 3), 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("records diverge at %d", i)
+		}
+	}
+}
+
+func TestTPCCIsHomeDominated(t *testing.T) {
+	s, am := testStore(t)
+	recs := drain(t, s.NewReader(TPCC, 0, 0, 1, 60000, 1), 60000)
+	per := s.Records() / s.warehouses
+	lo, hi := s.homeWarehouses(0)
+	recBase := int64(config.Addr(s.Records()*8)+config.LineBytes-1) &^ (config.LineBytes - 1)
+	home, remote := 0, 0
+	for _, rec := range recs {
+		off := int64(rec.Addr - am.SharedAddr(0))
+		if off < recBase {
+			continue // directory access
+		}
+		key := (off - recBase) / (RecordLines * config.LineBytes)
+		w := key / per
+		if w >= lo && w < hi {
+			home++
+		} else {
+			remote++
+		}
+	}
+	frac := float64(home) / float64(home+remote)
+	if frac < 0.7 {
+		t.Fatalf("home-warehouse record share = %.2f, want ≥ 0.7 (85%% home txns)", frac)
+	}
+	if remote == 0 {
+		t.Fatal("no remote-warehouse traffic at all")
+	}
+}
+
+func TestYCSBIsGloballyScattered(t *testing.T) {
+	s, am := testStore(t)
+	recs := drain(t, s.NewReader(YCSB, 0, 0, 1, 60000, 1), 60000)
+	per := s.Records() / s.warehouses
+	lo, hi := s.homeWarehouses(0)
+	recBase := int64(config.Addr(s.Records()*8)+config.LineBytes-1) &^ (config.LineBytes - 1)
+	home, total := 0, 0
+	for _, rec := range recs {
+		off := int64(rec.Addr - am.SharedAddr(0))
+		if off < recBase {
+			continue
+		}
+		key := (off - recBase) / (RecordLines * config.LineBytes)
+		w := key / per
+		total++
+		if w >= lo && w < hi {
+			home++
+		}
+	}
+	// Host 0 owns a quarter of the warehouses; YCSB spreads uniformly.
+	if frac := float64(home) / float64(total); frac > 0.45 {
+		t.Fatalf("YCSB home share = %.2f, should be scattered (~0.25)", frac)
+	}
+}
+
+func TestWriteMixes(t *testing.T) {
+	s, _ := testStore(t)
+	writeFrac := func(o Op) float64 {
+		recs := drain(t, s.NewReader(o, 1, 0, 1, 40000, 2), 40000)
+		w := 0
+		for _, rec := range recs {
+			if rec.Write {
+				w++
+			}
+		}
+		return float64(w) / float64(len(recs))
+	}
+	y := writeFrac(YCSB)
+	tp := writeFrac(TPCC)
+	if y < 0.03 || y > 0.15 {
+		t.Fatalf("YCSB write fraction %.2f, want ≈ 0.07 (R:W 4:1 on records)", y)
+	}
+	if tp < 0.2 || tp > 0.5 {
+		t.Fatalf("TPC-C write fraction %.2f, want ≈ 0.3", tp)
+	}
+	if tp <= y {
+		t.Fatal("TPC-C should write more than YCSB")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if YCSB.String() != "ycsb" || TPCC.String() != "tpcc" {
+		t.Fatal("Op strings wrong")
+	}
+}
+
+func TestBadHostPanics(t *testing.T) {
+	s, _ := testStore(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.NewReader(YCSB, 4, 0, 1, 10, 1)
+}

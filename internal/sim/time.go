@@ -1,0 +1,90 @@
+// Package sim provides the deterministic discrete-event substrate the
+// multi-host simulator is built on: a simulated clock in picoseconds, an
+// event queue with stable tie-breaking, and FCFS bandwidth/service resources
+// used to model DRAM channels, CXL link directions and directory slices.
+package sim
+
+import "fmt"
+
+// Time is simulated time in picoseconds. Picoseconds keep every clock domain
+// in the evaluated system exact: a 4 GHz core cycle is 250 ps, a 2 GHz
+// directory cycle 500 ps, DDR5 and CXL parameters are plain nanoseconds.
+type Time int64
+
+// Common duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulated time.
+const MaxTime = Time(1<<63 - 1)
+
+// Nanoseconds reports t as a float64 number of nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Seconds reports t as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	switch {
+	case t < 10*Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.2fns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.2fms", float64(t)/float64(Millisecond))
+	case t < 10*Second:
+		return fmt.Sprintf("%.2fs", t.Seconds())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// Clock converts between cycles of a fixed-frequency clock domain and Time.
+type Clock struct {
+	period Time // duration of one cycle
+}
+
+// NewClock returns a clock domain running at the given frequency in hertz.
+// NewClock panics if the frequency does not divide one second into a whole
+// number of picoseconds (all frequencies used by the simulator do).
+func NewClock(hz int64) Clock {
+	if hz <= 0 {
+		panic("sim: clock frequency must be positive")
+	}
+	if int64(Second)%hz != 0 {
+		panic(fmt.Sprintf("sim: %d Hz does not divide a second into whole picoseconds", hz))
+	}
+	return Clock{period: Time(int64(Second) / hz)}
+}
+
+// Period returns the duration of one cycle.
+func (c Clock) Period() Time { return c.period }
+
+// Cycles converts a cycle count to a duration.
+func (c Clock) Cycles(n int64) Time { return Time(n) * c.period }
+
+// ToCycles converts a duration to whole elapsed cycles (rounded down).
+func (c Clock) ToCycles(t Time) int64 { return int64(t) / int64(c.period) }
+
+// Max returns the later of two times.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of two times.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"pipm/internal/sim"
+)
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		ClassL1Hit: "l1-hit", ClassLLCHit: "llc-hit", ClassLocalPrivate: "local-private",
+		ClassLocalShared: "local-shared", ClassCXL: "cxl", ClassInterHost: "inter-host",
+	}
+	for cl, s := range want {
+		if cl.String() != s {
+			t.Errorf("%d.String() = %q, want %q", cl, cl.String(), s)
+		}
+	}
+	if !strings.Contains(Class(99).String(), "99") {
+		t.Error("unknown class should render its number")
+	}
+}
+
+func TestExecTimeIsMakespan(t *testing.T) {
+	c := New(3)
+	c.Host(0).FinishTime = 5 * sim.Microsecond
+	c.Host(1).FinishTime = 9 * sim.Microsecond
+	c.Host(2).FinishTime = 2 * sim.Microsecond
+	if got := c.ExecTime(); got != 9*sim.Microsecond {
+		t.Fatalf("ExecTime = %v", got)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	c := New(1)
+	c.Host(0).Instructions = 4000
+	c.Host(0).FinishTime = sim.NewClock(4_000_000_000).Cycles(1000)
+	// 4000 instructions over 1000 cycles on 2 cores → IPC 2.
+	if got := c.IPC(sim.NewClock(4_000_000_000), 2); got != 2 {
+		t.Fatalf("IPC = %v, want 2", got)
+	}
+	// Degenerate cases.
+	if New(1).IPC(sim.NewClock(4_000_000_000), 2) != 0 {
+		t.Fatal("IPC of empty run should be 0")
+	}
+}
+
+func TestLocalHitRate(t *testing.T) {
+	c := New(2)
+	c.Host(0).Served[ClassLocalShared] = 30
+	c.Host(0).Served[ClassCXL] = 50
+	c.Host(1).Served[ClassInterHost] = 20
+	// L1/LLC hits and private-local accesses must not count.
+	c.Host(0).Served[ClassL1Hit] = 1000
+	c.Host(1).Served[ClassLocalPrivate] = 500
+	if got := c.LocalHitRate(); got != 0.3 {
+		t.Fatalf("LocalHitRate = %v, want 0.3", got)
+	}
+	if New(1).LocalHitRate() != 0 {
+		t.Fatal("empty run should have 0 hit rate")
+	}
+}
+
+func TestStallFractions(t *testing.T) {
+	c := New(2)
+	c.Host(0).FinishTime = 100 * sim.Microsecond
+	c.Host(1).FinishTime = 100 * sim.Microsecond
+	c.Host(0).Stall[ClassInterHost] = 30 * sim.Microsecond
+	c.Host(1).Stall[ClassInterHost] = 10 * sim.Microsecond
+	if got := c.StallFraction(ClassInterHost); got != 0.2 {
+		t.Fatalf("StallFraction = %v, want 0.2", got)
+	}
+	c.Host(0).MgmtStall = 50 * sim.Microsecond
+	if got := c.MgmtFraction(); got != 0.25 {
+		t.Fatalf("MgmtFraction = %v, want 0.25", got)
+	}
+	c.Host(1).TransferStall = 20 * sim.Microsecond
+	if got := c.TransferFraction(); got != 0.1 {
+		t.Fatalf("TransferFraction = %v, want 0.1", got)
+	}
+	if New(1).StallFraction(ClassCXL) != 0 || New(1).MgmtFraction() != 0 || New(1).TransferFraction() != 0 {
+		t.Fatal("empty run fractions should be 0")
+	}
+}
+
+func TestFootprintSampling(t *testing.T) {
+	c := New(2)
+	c.SampleFootprint(0, 10, 100)
+	c.SampleFootprint(0, 20, 300)
+	c.SampleFootprint(1, 40, 800)
+	// Host 0 mean: 15 pages / 200 lines; host 1: 40 / 800 → host avg 27.5 / 500.
+	if got := c.MeanPageFootprint(); got != 27.5 {
+		t.Fatalf("MeanPageFootprint = %v, want 27.5", got)
+	}
+	if got := c.MeanLineFootprint(); got != 500 {
+		t.Fatalf("MeanLineFootprint = %v, want 500", got)
+	}
+	// Hosts with no samples are excluded, empty collector is 0.
+	c2 := New(3)
+	c2.SampleFootprint(1, 8, 8)
+	if got := c2.MeanPageFootprint(); got != 8 {
+		t.Fatalf("sparse sampling mean = %v, want 8", got)
+	}
+	if New(2).MeanPageFootprint() != 0 {
+		t.Fatal("no samples should give 0")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c := New(1)
+	c.Host(0).Served[ClassCXL] = 5
+	c.Host(0).Instructions = 10
+	c.Promotions = 2
+	s := c.Summary()
+	for _, frag := range []string{"instr=10", "cxl=5", "promo=2"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Summary missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestMeanLatency(t *testing.T) {
+	c := New(2)
+	c.Host(0).Served[ClassCXL] = 2
+	c.Host(0).LatSum[ClassCXL] = 600 * sim.Nanosecond
+	c.Host(1).Served[ClassCXL] = 1
+	c.Host(1).LatSum[ClassCXL] = 300 * sim.Nanosecond
+	if got := c.MeanLatency(ClassCXL); got != 300*sim.Nanosecond {
+		t.Fatalf("MeanLatency = %v, want 300ns", got)
+	}
+	if c.MeanLatency(ClassL1Hit) != 0 {
+		t.Fatal("unserved class should have 0 latency")
+	}
+}

@@ -1,0 +1,65 @@
+// Package tlb models the management costs of kernel-based page migration:
+// page-table updates and TLB shootdowns. In a multi-host CXL-DSM these are
+// what §3.1 calls out as the scalability problem — every host must update
+// the page tables that map the moving page (via CXL RPCs) and invalidate
+// stale TLB entries on every core. The model follows the paper's evaluation
+// constants (§5.1.4): 20 µs per 4 KB on the initiating core, 5 µs on every
+// other core, with batched shootdowns so a batch of pages pays the remote
+// cost once.
+package tlb
+
+import (
+	"pipm/internal/config"
+	"pipm/internal/sim"
+)
+
+// Model prices migration-management work.
+type Model struct {
+	initiator sim.Time
+	remote    sim.Time
+	batch     int
+}
+
+// NewModel builds the cost model from kernel-migration configuration.
+func NewModel(cfg config.KernelMigrationConfig) *Model {
+	if cfg.BatchPages < 1 {
+		panic("tlb: BatchPages must be ≥ 1")
+	}
+	return &Model{initiator: cfg.InitiatorCost, remote: cfg.RemoteCost, batch: cfg.BatchPages}
+}
+
+// Costs describes the management stalls for migrating a set of pages in one
+// policy epoch.
+type Costs struct {
+	// Initiator is the total stall on the core driving the migration:
+	// per-page unmap/copy-manage/remap work.
+	Initiator sim.Time
+	// Remote is the total stall on EVERY other core in the system: one
+	// batched TLB-shootdown IPI per batch.
+	Remote sim.Time
+	// Batches is the number of shootdown rounds issued.
+	Batches int
+}
+
+// ForPages returns the management costs of migrating n pages.
+func (m *Model) ForPages(n int) Costs {
+	if n <= 0 {
+		return Costs{}
+	}
+	batches := (n + m.batch - 1) / m.batch
+	return Costs{
+		Initiator: sim.Time(n) * m.initiator,
+		Remote:    sim.Time(batches) * m.remote,
+		Batches:   batches,
+	}
+}
+
+// InitiatorPerPage returns the per-page initiator cost (used by schemes that
+// spread work across an epoch).
+func (m *Model) InitiatorPerPage() sim.Time { return m.initiator }
+
+// RemotePerBatch returns the per-batch remote shootdown cost.
+func (m *Model) RemotePerBatch() sim.Time { return m.remote }
+
+// BatchPages returns the shootdown batch size.
+func (m *Model) BatchPages() int { return m.batch }

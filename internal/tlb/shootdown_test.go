@@ -1,0 +1,69 @@
+package tlb
+
+import (
+	"testing"
+
+	"pipm/internal/config"
+	"pipm/internal/sim"
+)
+
+func model() *Model {
+	c := config.Default()
+	return NewModel(c.Kernel)
+}
+
+func TestZeroPagesFree(t *testing.T) {
+	if got := model().ForPages(0); got != (Costs{}) {
+		t.Fatalf("ForPages(0) = %+v", got)
+	}
+	if got := model().ForPages(-3); got != (Costs{}) {
+		t.Fatalf("ForPages(-3) = %+v", got)
+	}
+}
+
+func TestSinglePageCosts(t *testing.T) {
+	got := model().ForPages(1)
+	if got.Initiator != 20*sim.Microsecond {
+		t.Errorf("Initiator = %v, want 20µs", got.Initiator)
+	}
+	if got.Remote != 5*sim.Microsecond || got.Batches != 1 {
+		t.Errorf("Remote = %v, Batches = %d, want 5µs in 1 batch", got.Remote, got.Batches)
+	}
+}
+
+func TestBatchingAmortizesRemoteCost(t *testing.T) {
+	m := model() // batch = 32
+	got := m.ForPages(64)
+	if got.Batches != 2 {
+		t.Fatalf("Batches = %d, want 2", got.Batches)
+	}
+	if got.Remote != 10*sim.Microsecond {
+		t.Fatalf("Remote = %v, want 10µs (2 batches)", got.Remote)
+	}
+	if got.Initiator != 64*20*sim.Microsecond {
+		t.Fatalf("Initiator = %v, want 1.28ms", got.Initiator)
+	}
+	// 33 pages → 2 batches (ceiling).
+	if m.ForPages(33).Batches != 2 {
+		t.Fatal("ceiling division wrong")
+	}
+	if m.ForPages(32).Batches != 1 {
+		t.Fatal("exact batch should be 1 round")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m := model()
+	if m.InitiatorPerPage() != 20*sim.Microsecond || m.RemotePerBatch() != 5*sim.Microsecond || m.BatchPages() != 32 {
+		t.Fatal("accessors disagree with config")
+	}
+}
+
+func TestNewModelRejectsZeroBatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero batch")
+		}
+	}()
+	NewModel(config.KernelMigrationConfig{BatchPages: 0})
+}

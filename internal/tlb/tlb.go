@@ -1,0 +1,108 @@
+package tlb
+
+import "pipm/internal/config"
+
+// TLB is a per-core set-associative translation cache over 4 KB pages.
+// The simulator's traces carry physical addresses, so the TLB's role is
+// timing fidelity: misses add page-walk latency, and kernel page migration
+// invalidates entries (the shootdowns the Model prices). Disabled by
+// default in the scaled configuration; see config.Config.TLBEntries.
+type TLB struct {
+	ways int
+	sets int
+	tags []int64 // sets*ways; -1 empty
+	lru  []uint64
+	tick uint64
+
+	hits, misses uint64
+}
+
+// NewTLB builds a TLB with the given capacity in entries and associativity.
+// Zero or negative entries return nil (disabled); callers must nil-check.
+func NewTLB(entries, ways int) *TLB {
+	if entries <= 0 {
+		return nil
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	if entries < ways {
+		ways = entries
+	}
+	sets := entries / ways
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	if sets < 1 {
+		sets = 1
+	}
+	t := &TLB{
+		ways: ways,
+		sets: sets,
+		tags: make([]int64, sets*ways),
+		lru:  make([]uint64, sets*ways),
+	}
+	for i := range t.tags {
+		t.tags[i] = -1
+	}
+	return t
+}
+
+// Entries returns the TLB capacity.
+func (t *TLB) Entries() int { return t.sets * t.ways }
+
+// Lookup translates the page containing addr, filling on a miss, and
+// reports whether the translation hit.
+func (t *TLB) Lookup(addr config.Addr) bool {
+	page := int64(addr.Page())
+	set := int(page) & (t.sets - 1)
+	base := set * t.ways
+	t.tick++
+	for i := 0; i < t.ways; i++ {
+		if t.tags[base+i] == page {
+			t.lru[base+i] = t.tick
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	victim := base
+	for i := 0; i < t.ways; i++ {
+		if t.tags[base+i] == -1 {
+			victim = base + i
+			break
+		}
+		if t.lru[base+i] < t.lru[victim] {
+			victim = base + i
+		}
+	}
+	t.tags[victim] = page
+	t.lru[victim] = t.tick
+	return false
+}
+
+// Invalidate drops the translation for page (a shootdown).
+func (t *TLB) Invalidate(page config.Addr) {
+	set := int(page) & (t.sets - 1)
+	base := set * t.ways
+	for i := 0; i < t.ways; i++ {
+		if t.tags[base+i] == int64(page) {
+			t.tags[base+i] = -1
+			t.lru[base+i] = 0
+			return
+		}
+	}
+}
+
+// Hits and Misses return raw counters.
+func (t *TLB) Hits() uint64   { return t.hits }
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// HitRate returns hits/(hits+misses), or 0 before any lookups.
+func (t *TLB) HitRate() float64 {
+	n := t.hits + t.misses
+	if n == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(n)
+}

@@ -1,0 +1,69 @@
+package tlb
+
+import (
+	"testing"
+
+	"pipm/internal/config"
+)
+
+func TestNewTLBDisabled(t *testing.T) {
+	if NewTLB(0, 4) != nil || NewTLB(-1, 4) != nil {
+		t.Fatal("zero/negative entries should return nil")
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tl := NewTLB(16, 4)
+	if tl.Entries() != 16 {
+		t.Fatalf("Entries = %d", tl.Entries())
+	}
+	a := config.Addr(5 * config.PageBytes)
+	if tl.Lookup(a) {
+		t.Fatal("hit in empty TLB")
+	}
+	if !tl.Lookup(a) {
+		t.Fatal("miss after fill")
+	}
+	// Same page, different offset: still a hit.
+	if !tl.Lookup(a + 100) {
+		t.Fatal("same-page offset missed")
+	}
+	if tl.Hits() != 2 || tl.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d", tl.Hits(), tl.Misses())
+	}
+	if tl.HitRate() < 0.6 || tl.HitRate() > 0.7 {
+		t.Fatalf("HitRate = %v", tl.HitRate())
+	}
+}
+
+func TestTLBCapacityEviction(t *testing.T) {
+	tl := NewTLB(4, 2) // 2 sets × 2 ways
+	// Pages 0,2,4 map to set 0; third fill evicts LRU (0).
+	tl.Lookup(0)
+	tl.Lookup(2 * config.PageBytes)
+	tl.Lookup(2 * config.PageBytes) // 2 MRU
+	tl.Lookup(4 * config.PageBytes) // evicts 0
+	if !tl.Lookup(2 * config.PageBytes) {
+		t.Fatal("MRU page evicted")
+	}
+	if tl.Lookup(0) {
+		t.Fatal("LRU page survived capacity pressure")
+	}
+}
+
+func TestTLBInvalidate(t *testing.T) {
+	tl := NewTLB(16, 4)
+	a := config.Addr(7 * config.PageBytes)
+	tl.Lookup(a)
+	tl.Invalidate(a.Page())
+	if tl.Lookup(a) {
+		t.Fatal("hit after shootdown")
+	}
+	tl.Invalidate(config.Addr(999)) // absent page: no-op, no panic
+}
+
+func TestTLBEmptyHitRate(t *testing.T) {
+	if NewTLB(8, 2).HitRate() != 0 {
+		t.Fatal("empty TLB hit rate should be 0")
+	}
+}

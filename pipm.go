@@ -1,0 +1,211 @@
+package pipm
+
+import (
+	"pipm/internal/check"
+	"pipm/internal/config"
+	"pipm/internal/core"
+	"pipm/internal/gapbs"
+	"pipm/internal/harness"
+	"pipm/internal/machine"
+	"pipm/internal/migration"
+	"pipm/internal/silo"
+	"pipm/internal/sim"
+	"pipm/internal/trace"
+	"pipm/internal/workload"
+)
+
+// Config describes the simulated system (Table 2 of the paper): hosts,
+// cores, cache geometry, DRAM timing, CXL link parameters, PIPM hardware
+// parameters, and kernel-migration cost constants.
+type Config = config.Config
+
+// Time is simulated time in picoseconds.
+type Time = sim.Time
+
+// Common durations re-exported for configuring sweeps.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// Scheme selects the page-placement scheme a Machine evaluates.
+type Scheme = migration.Kind
+
+// The eight schemes of the paper's evaluation (§5.1.3).
+const (
+	Native    = migration.Native
+	Nomad     = migration.Nomad
+	Memtis    = migration.Memtis
+	HeMem     = migration.HeMem
+	OSSkew    = migration.OSSkew
+	HWStatic  = migration.HWStatic
+	PIPM      = migration.PIPM
+	LocalOnly = migration.LocalOnly
+)
+
+// Schemes lists every scheme in the paper's presentation order.
+func Schemes() []Scheme { return append([]Scheme(nil), migration.Kinds...) }
+
+// ParseScheme resolves a scheme name ("pipm", "native", "hw-static", ...).
+func ParseScheme(s string) (Scheme, error) { return migration.ParseKind(s) }
+
+// Workload is a synthetic model of one Table 1 benchmark.
+type Workload = workload.Params
+
+// Workloads returns the full Table 1 catalog.
+func Workloads() []Workload { return workload.Catalog() }
+
+// WorkloadByName returns the catalog entry with the given name.
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// WorkloadNames lists catalog names in order.
+func WorkloadNames() []string { return workload.Names() }
+
+// DefaultConfig returns the paper's Table 2 configuration at full scale.
+func DefaultConfig() Config { return config.Default() }
+
+// ScaledConfig returns the laptop-scale configuration the experiment
+// harness uses (same ratios, smaller footprint; see DESIGN.md §1).
+func ScaledConfig() Config { return harness.DefaultOptions().Cfg }
+
+// Machine is one configured multi-host CXL-DSM system instance. Attach one
+// trace per core with SetTrace, call Run once, then read Stats.
+type Machine = machine.Machine
+
+// NewMachine builds a machine for the given configuration and scheme.
+func NewMachine(cfg Config, s Scheme) (*Machine, error) { return machine.New(cfg, s) }
+
+// TraceReader yields one core's memory-reference records in program order.
+type TraceReader = trace.Reader
+
+// TraceRecord is one memory operation preceded by Gap non-memory
+// instructions.
+type TraceRecord = trace.Record
+
+// Result is one (workload, scheme) measurement with the metrics the
+// paper's figures report.
+type Result = harness.Result
+
+// Run executes a single simulation: cfg and scheme define the machine, wl
+// generates records per-core traces seeded by seed.
+func Run(cfg Config, wl Workload, s Scheme, records, seed int64) (Result, error) {
+	return harness.RunOne(cfg, wl, s, records, seed)
+}
+
+// Speedup returns base's execution time over r's (>1 ⇒ r is faster).
+func Speedup(r, base Result) float64 { return harness.Speedup(r, base) }
+
+// Suite runs the paper's experiments (Figures 4–5 and 10–17) over one
+// option set, sharing simulation runs between figures.
+type Suite = harness.Suite
+
+// SuiteOptions configures an experiment sweep.
+type SuiteOptions = harness.Options
+
+// Table is a rendered experiment artefact.
+type Table = harness.Table
+
+// NewSuite builds an experiment suite.
+func NewSuite(o SuiteOptions) *Suite { return harness.NewSuite(o) }
+
+// DefaultSuiteOptions returns the scaled-down sweep configuration used for
+// EXPERIMENTS.md.
+func DefaultSuiteOptions() SuiteOptions { return harness.DefaultOptions() }
+
+// QuickSuiteOptions returns a small configuration suitable for tests and
+// demos (three workloads, short traces).
+func QuickSuiteOptions() SuiteOptions { return harness.QuickOptions() }
+
+// Table1 renders the workload catalog; Table2 renders a configuration.
+func Table1() string           { return harness.Table1() }
+func Table2(cfg Config) string { return harness.Table2(cfg) }
+
+// Graph is a CSR graph for the algorithmic workload generators.
+type Graph = gapbs.Graph
+
+// GraphKernel selects the graph algorithm AttachGraphKernel executes.
+type GraphKernel = gapbs.Kernel
+
+// The GAP kernels the algorithmic generator can execute.
+const (
+	KernelPageRank = gapbs.PageRank
+	KernelBFS      = gapbs.BFS
+	KernelSSSP     = gapbs.SSSP
+)
+
+// KroneckerGraph builds an RMAT/Kronecker graph (2^scale vertices, ≈degree
+// edges per vertex) with the Graph500 parameters the GAP suite specifies.
+func KroneckerGraph(scale, degree int, seed int64) *Graph {
+	return gapbs.Kronecker(scale, degree, seed)
+}
+
+// AttachGraphKernel lays g out in m's shared heap (vertex arrays plus CSR
+// adjacency, partitioned by vertex ownership) and attaches one trace reader
+// per core that actually executes the kernel, emitting its true memory
+// accesses — the mechanistic alternative to the statistical Workloads.
+func AttachGraphKernel(m *Machine, g *Graph, k GraphKernel, records, seed int64) error {
+	cfg := m.Config()
+	layout, err := gapbs.NewLayout(m.AddressMap(), g, cfg.Hosts)
+	if err != nil {
+		return err
+	}
+	for h := 0; h < cfg.Hosts; h++ {
+		for c := 0; c < cfg.CoresPerHost; c++ {
+			m.SetTrace(h, c, layout.NewReader(k, h, c, cfg.CoresPerHost, records, seed))
+		}
+	}
+	return nil
+}
+
+// StoreOp selects the database operation mix AttachStoreWorkload executes.
+type StoreOp = silo.Op
+
+// The database operation mixes the mini-Silo store can execute.
+const (
+	StoreYCSB = silo.YCSB
+	StoreTPCC = silo.TPCC
+)
+
+// AttachStoreWorkload lays a mini-Silo store (hash directory + partitioned
+// record heap) out in m's shared heap and attaches per-core readers that
+// execute YCSB point operations or TPC-C-style transactions, emitting their
+// true memory accesses. warehouses must be ≥ the host count.
+func AttachStoreWorkload(m *Machine, op StoreOp, warehouses, records, seed int64) error {
+	cfg := m.Config()
+	st, err := silo.NewStore(m.AddressMap(), cfg.Hosts, warehouses)
+	if err != nil {
+		return err
+	}
+	for h := 0; h < cfg.Hosts; h++ {
+		for c := 0; c < cfg.CoresPerHost; c++ {
+			m.SetTrace(h, c, st.NewReader(op, h, c, cfg.CoresPerHost, records, seed))
+		}
+	}
+	return nil
+}
+
+// PageHint is the §6 software interface's per-page mode.
+type PageHint = core.Hint
+
+// Per-page hint modes: the default majority-vote policy, never-migrate, or
+// pinned to one host.
+const (
+	HintAuto      = core.HintAuto
+	HintNoMigrate = core.HintNoMigrate
+	HintPinned    = core.HintPinned
+)
+
+// CheckResult summarizes a model-checking run of the coherence protocol.
+type CheckResult = check.Result
+
+// CheckViolation describes an invariant failure with its witness path.
+type CheckViolation = check.Violation
+
+// VerifyCoherence exhaustively model-checks the coherence protocol on a
+// small instance (the paper's §5.1.4 Murφ methodology): hosts ∈ {2,3};
+// pipmExtension selects base MSI (false) or MSI+PIPM (true). It returns the
+// exploration summary and the first invariant violation found, if any.
+func VerifyCoherence(hosts int, pipmExtension bool) (CheckResult, *CheckViolation) {
+	return check.Run(check.Options{Hosts: hosts, PIPM: pipmExtension})
+}
