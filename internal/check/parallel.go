@@ -1,0 +1,625 @@
+package check
+
+// Parallel explicit-state exploration of a generalized protocol instance.
+//
+// The sequential checker (Run) is deliberately small: one cache line, at
+// most three hosts, a plain BFS over a Go map. That reproduces the paper's
+// Murφ run but stops exactly where the interesting interleavings start —
+// partial migration is a *page* mechanism, so the first instance where two
+// lines of the same page interact through the shared page-ownership state
+// (promote/revoke affects both lines at once, incremental migration flips
+// per-line bits independently) needs two lines; and four hosts is the
+// smallest count where two disjoint host pairs can race for the same page.
+//
+// PRun explores that space with a sharded worker pool: states are packed
+// into 64-bit keys, each worker owns a shard of the visited set (no locks —
+// successors are routed to their owning shard between BFS levels), and the
+// frontier is expanded level-synchronously so violation reporting stays
+// deterministic regardless of goroutine scheduling.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Generalized instance bounds. Host IDs and line indices are packed into
+// 3-bit fields; widening either is a representation change, so the bounds
+// are explicit constants rather than options.
+const (
+	MaxHosts = 4
+	MaxLines = 2
+)
+
+// PLine is one cache line's global protocol state in the generalized model.
+// Semantics match State field-for-field; only the host arity differs.
+type PLine struct {
+	Cache    [MaxHosts]CacheState
+	CacheUTD [MaxHosts]bool
+	CXLUTD   bool
+	LocalUTD bool
+	BitOwner int8
+}
+
+// PState is one global state of the generalized instance: up to MaxLines
+// lines of the *same* page, coupled through PageOwn (partial migration is a
+// page-granularity decision; in-memory bits are per line).
+type PState struct {
+	Lines   [MaxLines]PLine
+	PageOwn int8
+}
+
+// PEvent is a protocol stimulus in the generalized model. Promote and
+// Revoke are page events; Line is meaningful only for Read/Write/Evict.
+type PEvent struct {
+	Kind EventKind
+	Host int
+	Line int
+}
+
+func (e PEvent) String() string {
+	if e.Kind == EvPromote || e.Kind == EvRevoke {
+		return fmt.Sprintf("%v(h%d)", e.Kind, e.Host)
+	}
+	return fmt.Sprintf("%v(h%d,l%d)", e.Kind, e.Host, e.Line)
+}
+
+// PViolation describes an invariant failure found by PRun.
+type PViolation struct {
+	Rule  string
+	State PState
+	Path  []PEvent
+}
+
+func (v *PViolation) Error() string {
+	return fmt.Sprintf("check: %s violated after %v (state %+v)", v.Rule, v.Path, v.State)
+}
+
+// POptions selects the generalized instance.
+type POptions struct {
+	Hosts   int // 2..4
+	Lines   int // 1..2 (lines of one shared page)
+	PIPM    bool
+	Workers int // worker/shard count; 0 = GOMAXPROCS
+}
+
+// PResult summarizes a completed parallel run.
+type PResult struct {
+	States      int
+	Transitions int
+	Depth       int // BFS depth of the deepest reachable state
+	Workers     int
+}
+
+// ------------------------------------------------------------- packing --
+
+// pkey is a PState packed into 64 bits: per line 17 bits (4 hosts × (2-bit
+// cache state + 1 UTD bit) + CXLUTD + LocalUTD + 3-bit BitOwner), then a
+// 3-bit PageOwn — 37 bits for the full 2-line instance.
+type pkey uint64
+
+const (
+	bitsPerHost = 3   // cache state (2) + UTD (1)
+	bitsPerLine = 17  // 4 hosts × 3 + CXLUTD + LocalUTD + BitOwner(3)
+	ownNone     = 0x7 // BitOwner/PageOwn "none" in packed form
+)
+
+func encode(s *PState) pkey {
+	var k uint64
+	shift := uint(0)
+	for l := 0; l < MaxLines; l++ {
+		ln := &s.Lines[l]
+		for h := 0; h < MaxHosts; h++ {
+			f := uint64(ln.Cache[h])
+			if ln.CacheUTD[h] {
+				f |= 4
+			}
+			k |= f << shift
+			shift += bitsPerHost
+		}
+		var f uint64
+		if ln.CXLUTD {
+			f |= 1
+		}
+		if ln.LocalUTD {
+			f |= 2
+		}
+		k |= f << shift
+		shift += 2
+		k |= packOwner(ln.BitOwner) << shift
+		shift += 3
+	}
+	k |= packOwner(s.PageOwn) << shift
+	return pkey(k)
+}
+
+func decode(k pkey) PState {
+	var s PState
+	shift := uint(0)
+	for l := 0; l < MaxLines; l++ {
+		ln := &s.Lines[l]
+		for h := 0; h < MaxHosts; h++ {
+			f := (uint64(k) >> shift) & 7
+			ln.Cache[h] = CacheState(f & 3)
+			ln.CacheUTD[h] = f&4 != 0
+			shift += bitsPerHost
+		}
+		f := (uint64(k) >> shift) & 3
+		ln.CXLUTD = f&1 != 0
+		ln.LocalUTD = f&2 != 0
+		shift += 2
+		ln.BitOwner = unpackOwner((uint64(k) >> shift) & 7)
+		shift += 3
+	}
+	s.PageOwn = unpackOwner((uint64(k) >> shift) & 7)
+	return s
+}
+
+func packOwner(o int8) uint64 {
+	if o == none {
+		return ownNone
+	}
+	return uint64(o)
+}
+
+func unpackOwner(f uint64) int8 {
+	if f == ownNone {
+		return none
+	}
+	return int8(f)
+}
+
+// hash spreads a packed key over shards (fibonacci hashing; the packed
+// fields are heavily correlated, so identity sharding would skew).
+func (k pkey) hash() uint64 {
+	x := uint64(k) * 0x9E3779B97F4A7C15
+	x ^= x >> 32
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 29
+	return x
+}
+
+// --------------------------------------------------------- transitions --
+
+// pmodel carries the instance options through the transition functions.
+type pmodel struct {
+	hosts int
+	lines int
+	pipm  bool
+}
+
+func pInitial() PState {
+	s := PState{PageOwn: none}
+	for l := range s.Lines {
+		s.Lines[l].CXLUTD = true
+		s.Lines[l].BitOwner = none
+	}
+	return s
+}
+
+// enabled lists the stimuli applicable in s.
+func (m *pmodel) enabled(s *PState) []PEvent {
+	evs := make([]PEvent, 0, m.lines*m.hosts*3+m.hosts)
+	for l := 0; l < m.lines; l++ {
+		for h := 0; h < m.hosts; h++ {
+			evs = append(evs, PEvent{EvRead, h, l}, PEvent{EvWrite, h, l})
+			if s.Lines[l].Cache[h] != I {
+				evs = append(evs, PEvent{EvEvict, h, l})
+			}
+		}
+	}
+	if m.pipm {
+		if s.PageOwn == none {
+			for h := 0; h < m.hosts; h++ {
+				evs = append(evs, PEvent{EvPromote, h, 0})
+			}
+		} else {
+			evs = append(evs, PEvent{EvRevoke, int(s.PageOwn), 0})
+		}
+	}
+	return evs
+}
+
+// apply executes one event atomically, returning the successor and whether
+// a read observed a stale value. Semantics mirror model.go generalized to
+// N hosts and multiple lines coupled through PageOwn.
+func (m *pmodel) apply(s PState, ev PEvent) (PState, bool) {
+	h := ev.Host
+	switch ev.Kind {
+	case EvRead:
+		stale := m.read(&s, &s.Lines[ev.Line], h)
+		return s, stale
+	case EvWrite:
+		stale := m.write(&s.Lines[ev.Line], h)
+		return s, stale
+	case EvEvict:
+		m.evict(&s, &s.Lines[ev.Line], h)
+		return s, false
+	case EvPromote:
+		s.PageOwn = int8(h)
+		return s, false
+	case EvRevoke:
+		m.revoke(&s, h)
+		return s, false
+	}
+	panic("check: unknown event")
+}
+
+func (m *pmodel) read(s *PState, ln *PLine, h int) bool {
+	switch ln.Cache[h] {
+	case S, M, ME:
+		return !ln.CacheUTD[h] // cache hit
+	}
+	switch {
+	case int(ln.BitOwner) == h:
+		// Case ③: I' → ME, served from local memory.
+		stale := !ln.LocalUTD
+		ln.Cache[h] = ME
+		ln.CacheUTD[h] = ln.LocalUTD
+		return stale
+	case ln.BitOwner != none:
+		g := int(ln.BitOwner)
+		if ln.Cache[g] == ME {
+			// Case ⑥: owner downgrades ME→S, line migrates back.
+			stale := !ln.CacheUTD[g]
+			ln.Cache[g] = S
+			ln.Cache[h] = S
+			ln.CacheUTD[h] = ln.CacheUTD[g]
+			ln.CXLUTD = ln.CacheUTD[g]
+			ln.BitOwner = none
+			return stale
+		}
+		// Case ②: pure I' — fetch from owner's local memory.
+		stale := !ln.LocalUTD
+		ln.CXLUTD = ln.LocalUTD
+		ln.Cache[h] = M
+		ln.CacheUTD[h] = ln.LocalUTD
+		ln.BitOwner = none
+		return stale
+	}
+	// Plain CXL-DSM MSI read.
+	for g := 0; g < m.hosts; g++ {
+		if g != h && ln.Cache[g] == M {
+			stale := !ln.CacheUTD[g]
+			ln.Cache[g] = S
+			ln.CXLUTD = ln.CacheUTD[g]
+			ln.Cache[h] = S
+			ln.CacheUTD[h] = ln.CacheUTD[g]
+			return stale
+		}
+	}
+	stale := !ln.CXLUTD
+	ln.Cache[h] = S
+	ln.CacheUTD[h] = ln.CXLUTD
+	return stale
+}
+
+func (m *pmodel) write(ln *PLine, h int) bool {
+	stale := false
+	switch ln.Cache[h] {
+	case M, ME:
+		// Write hit with ownership.
+	case S:
+		for g := 0; g < m.hosts; g++ {
+			if g != h && ln.Cache[g] == S {
+				ln.Cache[g] = I
+				ln.CacheUTD[g] = false
+			}
+		}
+		ln.Cache[h] = M
+	case I:
+		switch {
+		case int(ln.BitOwner) == h:
+			stale = !ln.LocalUTD
+			ln.Cache[h] = ME
+		case ln.BitOwner != none:
+			g := int(ln.BitOwner)
+			if ln.Cache[g] == ME {
+				stale = !ln.CacheUTD[g]
+				ln.Cache[g] = I
+				ln.CacheUTD[g] = false
+			} else {
+				stale = !ln.LocalUTD
+			}
+			ln.CXLUTD = true // migrate-back writeback (pre-write value)
+			ln.BitOwner = none
+			ln.Cache[h] = M
+		default:
+			for g := 0; g < m.hosts; g++ {
+				if g == h {
+					continue
+				}
+				if ln.Cache[g] == M {
+					stale = stale || !ln.CacheUTD[g]
+				}
+				ln.Cache[g] = I
+				ln.CacheUTD[g] = false
+			}
+			ln.Cache[h] = M
+		}
+	}
+	for g := range ln.CacheUTD {
+		ln.CacheUTD[g] = false
+	}
+	ln.CacheUTD[h] = true
+	ln.CXLUTD = false
+	ln.LocalUTD = false
+	return stale
+}
+
+func (m *pmodel) evict(s *PState, ln *PLine, h int) {
+	switch ln.Cache[h] {
+	case S:
+		ln.Cache[h] = I
+		ln.CacheUTD[h] = false
+	case M:
+		if m.pipm && int(s.PageOwn) == h {
+			// Case ①: incremental migration (M → I').
+			ln.LocalUTD = ln.CacheUTD[h]
+			ln.BitOwner = int8(h)
+		} else {
+			ln.CXLUTD = ln.CacheUTD[h]
+		}
+		ln.Cache[h] = I
+		ln.CacheUTD[h] = false
+	case ME:
+		// Case ④: ME → I', dirty data back to local memory only.
+		ln.LocalUTD = ln.CacheUTD[h]
+		ln.Cache[h] = I
+		ln.CacheUTD[h] = false
+	}
+}
+
+// revoke returns every migrated block of the page to CXL memory (§4.2 ⑥):
+// page-granularity, so it acts on all lines at once.
+func (m *pmodel) revoke(s *PState, h int) {
+	for l := 0; l < m.lines; l++ {
+		ln := &s.Lines[l]
+		if int(ln.BitOwner) == h {
+			ln.CXLUTD = ln.LocalUTD
+			ln.LocalUTD = false
+			ln.BitOwner = none
+		}
+		if ln.Cache[h] == ME {
+			// A cached migrated block becomes an ordinary dirty CXL block.
+			ln.Cache[h] = M
+		}
+	}
+	s.PageOwn = none
+}
+
+// checkInvariants returns the violated rule's name, or "".
+func (m *pmodel) checkInvariants(s *PState) string {
+	for l := 0; l < m.lines; l++ {
+		ln := &s.Lines[l]
+		writers, sharers := 0, 0
+		for h := 0; h < m.hosts; h++ {
+			switch ln.Cache[h] {
+			case M, ME:
+				writers++
+				if !ln.CacheUTD[h] {
+					return "owner-holds-latest: M/ME copy is stale"
+				}
+			case S:
+				sharers++
+				if !ln.CacheUTD[h] {
+					return "sharers-clean: S copy is stale"
+				}
+			}
+			if ln.Cache[h] == ME && (int(ln.BitOwner) != h || int(s.PageOwn) != h) {
+				return "ME-implies-migrated-here"
+			}
+		}
+		if writers > 1 {
+			return "SWMR: two writers"
+		}
+		if writers == 1 && sharers > 0 {
+			return "SWMR: writer coexists with readers"
+		}
+		if ln.BitOwner != none && ln.BitOwner != s.PageOwn {
+			return "bit-consistency: in-memory bit outside the owning page"
+		}
+		anyUTD := ln.CXLUTD || (ln.BitOwner != none && ln.LocalUTD)
+		for h := 0; h < m.hosts; h++ {
+			if ln.Cache[h] != I && ln.CacheUTD[h] {
+				anyUTD = true
+			}
+		}
+		if !anyUTD {
+			return "value-lost: no location holds the latest version"
+		}
+	}
+	return ""
+}
+
+// ----------------------------------------------------------- exploration --
+
+// pedge records how a state was first reached, for witness reconstruction.
+type pedge struct {
+	parent pkey
+	via    PEvent
+}
+
+// routed is one successor en route to its owning shard.
+type routed struct {
+	key    pkey
+	parent pkey
+	via    PEvent
+}
+
+// foundViolation is a violation candidate located during one BFS level;
+// ties are broken by (shard, order) so reporting is deterministic.
+type foundViolation struct {
+	shard int
+	order int
+	rule  string
+	state pkey
+	// extraEv extends the witness path beyond the path to `state` (used
+	// for stale reads, where the violating event is the last step).
+	extraEv  PEvent
+	hasExtra bool
+}
+
+// PRun explores the generalized protocol instance with a sharded parallel
+// BFS and returns the first invariant violation found, if any.
+func PRun(opt POptions) (PResult, *PViolation) {
+	if opt.Hosts < 2 || opt.Hosts > MaxHosts {
+		panic(fmt.Sprintf("check: Hosts must be 2..%d", MaxHosts))
+	}
+	if opt.Lines < 1 || opt.Lines > MaxLines {
+		panic(fmt.Sprintf("check: Lines must be 1..%d", MaxLines))
+	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 64 {
+		workers = 64
+	}
+
+	m := &pmodel{hosts: opt.Hosts, lines: opt.Lines, pipm: opt.PIPM}
+	res := PResult{Workers: workers}
+
+	start := pInitial()
+	startKey := encode(&start)
+	startShard := int(startKey.hash() % uint64(workers))
+
+	seen := make([]map[pkey]pedge, workers)
+	frontier := make([][]pkey, workers)
+	for i := range seen {
+		seen[i] = make(map[pkey]pedge)
+	}
+	seen[startShard][startKey] = pedge{parent: startKey}
+	frontier[startShard] = []pkey{startKey}
+
+	// outbox[src][dst] holds successors worker src discovered for shard dst.
+	outbox := make([][][]routed, workers)
+	for i := range outbox {
+		outbox[i] = make([][]routed, workers)
+	}
+	transitions := make([]int, workers)
+	violations := make([]*foundViolation, workers)
+
+	depth := 0
+	for {
+		// Expansion phase: each worker expands its own shard's frontier,
+		// routing successors by hash. No shared writes.
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				order := 0
+				for _, key := range frontier[w] {
+					st := decode(key)
+					if rule := m.checkInvariants(&st); rule != "" {
+						if violations[w] == nil {
+							violations[w] = &foundViolation{shard: w, order: order, rule: rule, state: key}
+						}
+						return
+					}
+					for _, ev := range m.enabled(&st) {
+						next, stale := m.apply(st, ev)
+						transitions[w]++
+						if stale {
+							if violations[w] == nil {
+								violations[w] = &foundViolation{
+									shard: w, order: order,
+									rule:    "SC-per-location: read returned a stale value",
+									state:   key,
+									extraEv: ev, hasExtra: true,
+								}
+							}
+							return
+						}
+						nk := encode(&next)
+						dst := int(nk.hash() % uint64(workers))
+						outbox[w][dst] = append(outbox[w][dst], routed{key: nk, parent: key, via: ev})
+					}
+					order++
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Deterministic violation selection across the level.
+		var best *foundViolation
+		for _, v := range violations {
+			if v == nil {
+				continue
+			}
+			if best == nil || v.shard < best.shard || (v.shard == best.shard && v.order < best.order) {
+				best = v
+			}
+		}
+		if best != nil {
+			for w := 0; w < workers; w++ {
+				res.Transitions += transitions[w]
+				res.States += len(seen[w])
+			}
+			res.Depth = depth
+			return res, reconstruct(m, best, seen, workers)
+		}
+
+		// Merge phase: each worker folds incoming successors into its own
+		// shard and builds the next frontier. Again no shared writes.
+		grew := false
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				frontier[w] = frontier[w][:0]
+				for src := 0; src < workers; src++ {
+					for _, r := range outbox[src][w] {
+						if _, ok := seen[w][r.key]; ok {
+							continue
+						}
+						seen[w][r.key] = pedge{parent: r.parent, via: r.via}
+						frontier[w] = append(frontier[w], r.key)
+					}
+					outbox[src][w] = outbox[src][w][:0]
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			if len(frontier[w]) > 0 {
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+		depth++
+	}
+
+	for w := 0; w < workers; w++ {
+		res.Transitions += transitions[w]
+		res.States += len(seen[w])
+	}
+	res.Depth = depth
+	return res, nil
+}
+
+// reconstruct rebuilds the witness path by chasing parent edges across the
+// sharded visited sets.
+func reconstruct(m *pmodel, v *foundViolation, seen []map[pkey]pedge, workers int) *PViolation {
+	var path []PEvent
+	key := v.state
+	for {
+		shard := int(key.hash() % uint64(workers))
+		e, ok := seen[shard][key]
+		if !ok || e.parent == key {
+			break
+		}
+		path = append([]PEvent{e.via}, path...)
+		key = e.parent
+	}
+	st := decode(v.state)
+	if v.hasExtra {
+		// The violating step itself (a stale read) ends the witness path.
+		st, _ = m.apply(st, v.extraEv)
+		path = append(path, v.extraEv)
+	}
+	return &PViolation{Rule: v.rule, State: st, Path: path}
+}

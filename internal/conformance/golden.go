@@ -1,0 +1,89 @@
+// Package conformance is the simulator's differential-testing subsystem:
+// a sequentially consistent golden memory model cross-checked against the
+// full machine's value stream, a randomized adversarial trace fuzzer with
+// failure shrinking, and glue to the parallel protocol checker in
+// internal/check. It is the correctness backstop for every scheme the
+// machine can run (all except the Local-only upper bound, which has no
+// single-image semantics).
+package conformance
+
+import (
+	"fmt"
+	"sort"
+
+	"pipm/internal/config"
+	"pipm/internal/machine"
+)
+
+// maxViolations caps collected evidence per run; one divergence usually
+// cascades, and the first few are the informative ones.
+const maxViolations = 16
+
+// Golden is the reference memory model: a flat, sequentially consistent
+// store replayed in the machine's serialization order. The machine applies
+// all protocol state at issue time on a single-threaded event engine, so
+// the order its value layer observes accesses in IS a serialization of the
+// run; the golden model checks that this serialization is legal — every
+// read returns the latest write to its line — and that the machine's final
+// memory image matches the replay.
+type Golden struct {
+	shadow     map[config.Addr]uint64
+	touched    map[config.Addr]struct{}
+	violations []string
+}
+
+// NewGolden returns an empty golden model (all memory implicitly zero).
+func NewGolden() *Golden {
+	return &Golden{
+		shadow:  make(map[config.Addr]uint64),
+		touched: make(map[config.Addr]struct{}),
+	}
+}
+
+// Observe consumes one machine observation: writes update the shadow
+// store, reads are checked against it. Pass this to
+// Machine.EnableValueTracking.
+func (g *Golden) Observe(o machine.Observation) {
+	g.touched[o.Line] = struct{}{}
+	if o.Write {
+		g.shadow[o.Line] = o.Value
+		return
+	}
+	if want := g.shadow[o.Line]; o.Value != want && len(g.violations) < maxViolations {
+		g.violations = append(g.violations, fmt.Sprintf(
+			"seq %d: host %d core %d read line %#x: machine served %#x, golden model %#x",
+			o.Seq, o.Host, o.Core, uint64(o.Line), o.Value, want))
+	}
+}
+
+// Violations returns the divergences observed so far (nil when clean).
+func (g *Golden) Violations() []string { return g.violations }
+
+// CheckFinalImage compares the machine's end-of-run memory image against
+// the shadow store. Both must cover exactly the touched lines and agree on
+// every value — a mismatch is a lost writeback or a misplaced migration.
+func (g *Golden) CheckFinalImage(img map[config.Addr]uint64) []string {
+	var errs []string
+	lines := make([]config.Addr, 0, len(g.touched))
+	for l := range g.touched {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, l := range lines {
+		got, ok := img[l]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("final image: line %#x missing", uint64(l)))
+		} else if want := g.shadow[l]; got != want {
+			errs = append(errs, fmt.Sprintf(
+				"final image: line %#x holds %#x, golden model %#x", uint64(l), got, want))
+		}
+		if len(errs) >= maxViolations {
+			return errs
+		}
+	}
+	if len(img) > len(g.touched) {
+		errs = append(errs, fmt.Sprintf(
+			"final image: %d lines, golden model touched %d", len(img), len(g.touched)))
+	}
+	return errs
+}

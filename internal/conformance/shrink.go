@@ -1,0 +1,56 @@
+package conformance
+
+import "pipm/internal/trace"
+
+// shrinkBudget bounds oracle invocations per Shrink call; each invocation
+// is a full machine run, so the budget is the real cost control.
+const shrinkBudget = 600
+
+// Shrink minimizes a failing trace set with a ddmin-style greedy pass:
+// for each core it tries removing contiguous chunks — the whole trace,
+// then halves, quarters, down to single records — keeping any candidate
+// for which fails still reports true, and repeats until a full sweep
+// removes nothing or the budget runs out. The machine is deterministic,
+// so fails is a pure function of the candidate and the result reproduces.
+func Shrink(traces [][]trace.Record, fails func([][]trace.Record) bool) [][]trace.Record {
+	cur := traces
+	budget := shrinkBudget
+	for again := true; again && budget > 0; {
+		again = false
+		for ci := range cur {
+			for chunk := len(cur[ci]); chunk >= 1; chunk /= 2 {
+				for start := 0; start < len(cur[ci]); {
+					if budget <= 0 {
+						return cur
+					}
+					cand := removeChunk(cur, ci, start, chunk)
+					budget--
+					if fails(cand) {
+						cur = cand
+						again = true
+						// The next chunk has shifted into place at start.
+					} else {
+						start += chunk
+					}
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// removeChunk copies traces with cur[ci][start:start+n] dropped.
+func removeChunk(traces [][]trace.Record, ci, start, n int) [][]trace.Record {
+	out := make([][]trace.Record, len(traces))
+	copy(out, traces)
+	src := traces[ci]
+	end := start + n
+	if end > len(src) {
+		end = len(src)
+	}
+	t := make([]trace.Record, 0, len(src)-(end-start))
+	t = append(t, src[:start]...)
+	t = append(t, src[end:]...)
+	out[ci] = t
+	return out
+}

@@ -21,6 +21,10 @@ type Outcome struct {
 	Revoked      bool // this access triggered revocation
 	RevokedLines int  // migrated lines that must be transferred back on revoke
 	RevokedFrom  int  // host the page was revoked from
+	// RevokedBitmap is the page's migrated-line bitmap at revocation: which
+	// lines' freshest copies lived in the old owner's local DRAM and travel
+	// back with the bulk transfer.
+	RevokedBitmap uint64
 }
 
 // Manager ties the global/local remapping tables, their caches and the
@@ -148,6 +152,7 @@ func (m *Manager) DeviceAccess(h int, page int64) Outcome {
 			out.Owner = NoHost
 			out.Revoked = true
 			out.RevokedLines = popcount(removed.Bitmap)
+			out.RevokedBitmap = removed.Bitmap
 			out.RevokedFrom = owner
 			m.stats.Revocations++
 			m.stats.LinesDemoted += uint64(out.RevokedLines)

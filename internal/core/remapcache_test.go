@@ -1,0 +1,111 @@
+package core
+
+import "testing"
+
+// Direct tests for RemapCache eviction and aliasing, beyond the smoke
+// coverage in tables_test.go: set-index aliasing, exact LRU order within a
+// set, and the geometry normalization rules of NewRemapCache.
+
+// Pages that differ by a multiple of the set count index the same set and
+// contend for its ways; pages in other sets must be unaffected.
+func TestRemapCacheAliasEviction(t *testing.T) {
+	c := NewRemapCache(8, 2) // 4 sets × 2 ways
+	sets := int64(4)
+	p0, p1, p2 := int64(1), 1+sets, 1+2*sets // three aliases of set 1
+	other := int64(2)                        // different set
+
+	c.Lookup(p0)
+	c.Lookup(p1)
+	c.Lookup(other)
+	if !c.Lookup(p0) || !c.Lookup(p1) {
+		t.Fatal("two aliases do not fit a 2-way set")
+	}
+	c.Lookup(p2) // evicts LRU alias p0
+	if c.Lookup(p0) {
+		t.Fatal("LRU alias survived a third alias's fill")
+	}
+	// p0's refill evicted the then-LRU p1; p2 (MRU before the refill) stays.
+	if !c.Lookup(p2) {
+		t.Fatal("MRU alias evicted instead of LRU")
+	}
+	if !c.Lookup(other) {
+		t.Fatal("alias churn in set 1 evicted an entry of set 2")
+	}
+}
+
+func TestRemapCacheLRUWithinSet(t *testing.T) {
+	c := NewRemapCache(4, 4) // one set, 4 ways
+	for p := int64(0); p < 4; p++ {
+		c.Lookup(p)
+	}
+	c.Lookup(0) // refresh 0: LRU is now 1
+	c.Lookup(4) // evicts 1
+	if c.Lookup(1) {
+		t.Fatal("LRU entry survived")
+	}
+	// 1's refill evicted 2 (the LRU after 1 was gone).
+	for _, p := range []int64{0, 3, 4, 1} {
+		if !c.Lookup(p) {
+			t.Fatalf("page %d evicted out of LRU order", p)
+		}
+	}
+}
+
+func TestRemapCacheInvalidateFreesWay(t *testing.T) {
+	c := NewRemapCache(2, 2) // one set, 2 ways
+	c.Lookup(0)
+	c.Lookup(1)
+	c.Invalidate(0)
+	c.Lookup(2) // must take 0's freed slot, not evict 1
+	if !c.Lookup(1) {
+		t.Fatal("fill after Invalidate evicted a live entry instead of reusing the freed way")
+	}
+	if !c.Lookup(2) {
+		t.Fatal("fill after Invalidate lost the new entry")
+	}
+	c.Invalidate(12345) // absent page: no-op
+}
+
+// Geometry normalization: sets round down to a power of two, ways clamp to
+// the entry count, and every shape still hits immediately after a fill.
+func TestRemapCacheGeometry(t *testing.T) {
+	cases := []struct {
+		entries, ways int
+		wantEntries   int
+	}{
+		{12, 2, 8},   // 6 sets → 4 sets × 2 ways
+		{8, 3, 6},    // 2 sets × 3 ways
+		{1, 4, 1},    // ways clamp to the entry count
+		{5, 1, 4},    // 5 sets → 4
+		{16, 16, 16}, // fully associative
+	}
+	for _, tc := range cases {
+		c := NewRemapCache(tc.entries, tc.ways)
+		if got := c.Entries(); got != tc.wantEntries {
+			t.Errorf("NewRemapCache(%d,%d).Entries() = %d, want %d",
+				tc.entries, tc.ways, got, tc.wantEntries)
+		}
+		for p := int64(0); p < 64; p++ {
+			c.Lookup(p)
+			if !c.Lookup(p) {
+				t.Errorf("geometry (%d,%d): page %d missed immediately after fill",
+					tc.entries, tc.ways, p)
+			}
+		}
+	}
+}
+
+func TestRemapCacheZeroWaysDefaultsToDirect(t *testing.T) {
+	c := NewRemapCache(4, 0)
+	if c.Entries() != 4 {
+		t.Fatalf("entries = %d, want 4 (1-way × 4 sets)", c.Entries())
+	}
+	c.Lookup(1)
+	if !c.Lookup(1) {
+		t.Fatal("direct-mapped fill missed")
+	}
+	c.Lookup(5) // alias of 1 with 4 sets → evicts
+	if c.Lookup(1) {
+		t.Fatal("direct-mapped alias did not evict")
+	}
+}

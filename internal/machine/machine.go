@@ -64,6 +64,10 @@ type Machine struct {
 	audit     bool
 	auditErrs []string
 
+	// Value-tracking layer for differential conformance testing (nil when
+	// disabled); see values.go.
+	vals *valTracker
+
 	dbgUp, dbgDir, dbgData, dbgDown sim.Time
 	dbgN                            uint64
 }
@@ -293,6 +297,11 @@ func (m *Machine) applyKernelOp(now sim.Time, op migration.Op) {
 		return
 	}
 	base := m.amap.SharedAddr(config.Addr(op.Page) * config.PageBytes)
+	if m.vals != nil {
+		// Values move with the page; must precede the invalidations below so
+		// dirty cached copies can still be folded in.
+		m.vals.kernelMove(op.Page, from, op.To)
+	}
 
 	// All hosts drop cached lines and TLB translations of the page: its
 	// unified PA changes. Dirty data is folded into the page copy below.

@@ -1,0 +1,275 @@
+package machine
+
+// Value tracking: a differential-testing layer over the timing simulator.
+//
+// The machine proper models *timing* — values never flow through it. This
+// layer shadows every data movement the protocol performs (cache fills,
+// writebacks, forwards, incremental migrations, revocations, kernel page
+// moves) with an actual 64-bit value per cache line, so that a golden
+// memory model (internal/conformance) can cross-check every load and the
+// final memory image. A coherence bug that the latency model would hide —
+// a lost writeback, a stale forward, a remap alias — becomes a concrete
+// wrong value.
+//
+// Writes install deterministic tokens: (global core ID + 1) << 32 | the
+// core's write count. Tokens depend only on program order, never on
+// timing, so two runs of the same trace under different schemes produce
+// comparable value streams, and single-writer traces produce identical
+// final images across schemes.
+//
+// State updates apply at issue time on a single-threaded event engine, so
+// the order in which this layer observes accesses IS the machine's
+// serialization order; the golden model replays exactly that order.
+
+import (
+	"fmt"
+
+	"pipm/internal/config"
+	pipmcore "pipm/internal/core"
+	"pipm/internal/migration"
+)
+
+// Observation is one tracked memory access, in machine serialization
+// order. For reads Value is the value served; for writes it is the token
+// installed.
+type Observation struct {
+	Seq   uint64
+	Host  int
+	Core  int
+	Line  config.Addr // line index (byte address >> config.LineShift)
+	Write bool
+	Value uint64
+}
+
+// valSource says which backing store an access was served from.
+type valSource int
+
+const (
+	srcCache valSource = iota // a host's LLC/L1 hierarchy
+	srcLocal                  // a host's local DRAM
+	srcCXL                    // the pooled CXL DRAM
+)
+
+type valTracker struct {
+	m   *Machine
+	obs func(Observation)
+	seq uint64
+
+	mem     map[config.Addr]uint64   // CXL pool backing copy
+	local   []map[config.Addr]uint64 // per-host local-DRAM backing copy
+	cached  []map[config.Addr]uint64 // per-host LLC-level value
+	writes  []uint64                 // per-global-core write counters
+	touched map[config.Addr]struct{}
+}
+
+// EnableValueTracking turns the value layer on. Must be called before Run.
+// The observer (optional) receives every tracked access in serialization
+// order. Local-only is rejected: it gives each host a private view of
+// shared data by construction, so no single-image semantics exist.
+func (m *Machine) EnableValueTracking(observer func(Observation)) error {
+	if m.ran {
+		return fmt.Errorf("machine: EnableValueTracking after Run")
+	}
+	if m.scheme == migration.LocalOnly {
+		return fmt.Errorf("machine: value tracking is undefined for the Local-only upper bound")
+	}
+	v := &valTracker{
+		m:       m,
+		obs:     observer,
+		mem:     make(map[config.Addr]uint64),
+		writes:  make([]uint64, m.cfg.TotalCores()),
+		touched: make(map[config.Addr]struct{}),
+	}
+	for range m.hosts {
+		v.local = append(v.local, make(map[config.Addr]uint64))
+		v.cached = append(v.cached, make(map[config.Addr]uint64))
+	}
+	m.vals = v
+	return nil
+}
+
+// Observations returns how many accesses were tracked.
+func (m *Machine) Observations() uint64 {
+	if m.vals == nil {
+		return 0
+	}
+	return m.vals.seq
+}
+
+// FinalImage resolves, for every line ever touched, where its freshest
+// copy lives at end of run and returns the line → value map. Untouched
+// memory is implicitly zero.
+func (m *Machine) FinalImage() map[config.Addr]uint64 {
+	v := m.vals
+	if v == nil {
+		return nil
+	}
+	img := make(map[config.Addr]uint64, len(v.touched))
+	for line := range v.touched {
+		img[line] = v.resolve(line)
+	}
+	return img
+}
+
+func (v *valTracker) resolve(line config.Addr) uint64 {
+	m := v.m
+	// A dirty cached copy is freshest; SWMR guarantees at most one host has
+	// one (the audit layer checks that independently).
+	for _, hs := range m.hosts {
+		if st, ok := hs.llc.Peek(line); ok && st.Dirty() {
+			return v.cached[hs.id][line]
+		}
+	}
+	addr := line << config.LineShift
+	region, ph := m.amap.Region(addr)
+	if region == config.RegionPrivate {
+		return v.local[ph][line]
+	}
+	page := m.amap.SharedPageIndex(addr)
+	if m.mgr != nil {
+		if g := m.mgr.Owner(page); g != pipmcore.NoHost && m.mgr.LineMigrated(g, page, addr.LineInPage()) {
+			return v.local[g][line] // I': migrated to g's local DRAM
+		}
+		return v.mem[line]
+	}
+	if m.pt != nil {
+		if g := m.pt.Owner(page); g != migration.ToCXL {
+			return v.local[g][line]
+		}
+	}
+	return v.mem[line]
+}
+
+func (v *valTracker) token(c *coreState) uint64 {
+	gc := c.host.id*v.m.cfg.CoresPerHost + c.id
+	v.writes[gc]++
+	return uint64(gc+1)<<32 | v.writes[gc]
+}
+
+func (v *valTracker) emit(c *coreState, line config.Addr, write bool, val uint64) {
+	v.touched[line] = struct{}{}
+	v.seq++
+	if v.obs != nil {
+		v.obs(Observation{Seq: v.seq, Host: c.host.id, Core: c.id, Line: line, Write: write, Value: val})
+	}
+}
+
+// serve records an access served from src (srcHost selects the host for
+// srcCache/srcLocal). The requester's cache hierarchy ends up holding the
+// value either way, mirroring the machine's fill-at-issue-time rule.
+func (v *valTracker) serve(c *coreState, line config.Addr, write bool, src valSource, srcHost int) {
+	var val uint64
+	switch src {
+	case srcCache:
+		val = v.cached[srcHost][line]
+	case srcLocal:
+		val = v.local[srcHost][line]
+	case srcCXL:
+		val = v.mem[line]
+	}
+	if write {
+		val = v.token(c)
+	}
+	v.cached[c.host.id][line] = val
+	v.emit(c, line, write, val)
+}
+
+// forwardServe records an owner-forward (cxlServe DirModified forward, or
+// PIPM's inter-host fetch of a migrated line): the owner's copy — cached
+// (M/ME) or in local DRAM (I') — is pushed back to CXL memory, then the
+// requester takes it (or overwrites it on a write).
+func (v *valTracker) forwardServe(c *coreState, line config.Addr, write, fromCache bool, g int) {
+	var val uint64
+	if fromCache {
+		val = v.cached[g][line]
+	} else {
+		val = v.local[g][line]
+	}
+	v.mem[line] = val // memory is clean after the forward / migrate-back
+	if write {
+		val = v.token(c)
+	}
+	v.cached[c.host.id][line] = val
+	v.emit(c, line, write, val)
+}
+
+// gimServe records a non-cacheable 4-hop access to a kernel-migrated page
+// at owner g. The requester caches nothing; writes land in the owner's
+// local DRAM (any cached owner copy is invalidated by the machine).
+func (v *valTracker) gimServe(c *coreState, line config.Addr, write bool, g int, ownerCached bool) {
+	if write {
+		val := v.token(c)
+		v.local[g][line] = val
+		v.emit(c, line, true, val)
+		return
+	}
+	var val uint64
+	if ownerCached {
+		val = v.cached[g][line]
+	} else {
+		val = v.local[g][line]
+	}
+	v.emit(c, line, false, val)
+}
+
+// wbToLocal moves a host's cached value into its local DRAM (dirty private
+// writeback, ME eviction, incremental migration, kernel-local writeback).
+func (v *valTracker) wbToLocal(h int, line config.Addr) {
+	v.local[h][line] = v.cached[h][line]
+}
+
+// wbToCXL moves a host's cached value into pooled CXL memory (ordinary
+// dirty writeback, directory back-invalidation of a modified owner).
+func (v *valTracker) wbToCXL(h int, line config.Addr) {
+	v.mem[line] = v.cached[h][line]
+}
+
+// revoke mirrors applyRevocation: every migrated line of the page returns
+// from the old owner g's local DRAM to CXL, and any dirty cached copy
+// (M or ME) is fresher still and travels with it. Must run before the
+// machine invalidates g's caches for the page.
+func (v *valTracker) revoke(page int64, g int, bitmap uint64) {
+	base := v.m.amap.SharedAddr(config.Addr(page) * config.PageBytes).Line()
+	for l := config.Addr(0); l < config.LinesPerPage; l++ {
+		if bitmap&(1<<uint(l)) != 0 {
+			v.mem[base+l] = v.local[g][base+l]
+		}
+	}
+	owner := v.m.hosts[g]
+	for l := config.Addr(0); l < config.LinesPerPage; l++ {
+		if st, ok := owner.llc.Peek(base + l); ok && st.Dirty() {
+			v.mem[base+l] = v.cached[g][base+l]
+		}
+	}
+}
+
+// kernelMove mirrors applyKernelOp's page copy: fold the backing copy
+// (old owner's local DRAM, or CXL) with any dirty cached copy, and place
+// the result at the destination. Must run before the machine invalidates
+// cached copies of the page.
+func (v *valTracker) kernelMove(page int64, from, to int) {
+	base := v.m.amap.SharedAddr(config.Addr(page) * config.PageBytes).Line()
+	for l := config.Addr(0); l < config.LinesPerPage; l++ {
+		line := base + l
+		var val uint64
+		var have bool
+		if from >= 0 {
+			val, have = v.local[from][line]
+		} else {
+			val, have = v.mem[line]
+		}
+		for _, hs := range v.m.hosts {
+			if st, ok := hs.llc.Peek(line); ok && st.Dirty() {
+				val, have = v.cached[hs.id][line], true
+			}
+		}
+		if !have {
+			continue
+		}
+		if to >= 0 {
+			v.local[to][line] = val
+		} else {
+			v.mem[line] = val
+		}
+	}
+}

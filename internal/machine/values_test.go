@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"testing"
+
+	"pipm/internal/config"
+	"pipm/internal/migration"
+)
+
+func TestValueTrackingRejectsLocalOnly(t *testing.T) {
+	m := build(t, testCfg(), migration.LocalOnly)
+	if err := m.EnableValueTracking(nil); err == nil {
+		t.Fatal("LocalOnly accepted value tracking")
+	}
+}
+
+func TestValueTrackingRejectedAfterRun(t *testing.T) {
+	m := build(t, testCfg(), migration.Native)
+	attachPartitioned(m, 100)
+	run(t, m)
+	if err := m.EnableValueTracking(nil); err == nil {
+		t.Fatal("EnableValueTracking accepted after Run")
+	}
+}
+
+// Every tracked scheme must observe exactly one event per shared-trace
+// record, each read must return either zero or a previously installed
+// token, and the final image must contain the last token written per line.
+func TestValueTrackingObservesEveryAccess(t *testing.T) {
+	for _, scheme := range []migration.Kind{
+		migration.Native, migration.PIPM, migration.HWStatic,
+		migration.Nomad, migration.Memtis, migration.HeMem, migration.OSSkew,
+	} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			const n = 4000
+			m := build(t, testCfg(), scheme)
+			attachPartitioned(m, n)
+
+			written := make(map[uint64]bool)
+			lastWrite := make(map[config.Addr]uint64)
+			var events uint64
+			if err := m.EnableValueTracking(func(o Observation) {
+				events++
+				if o.Write {
+					if written[o.Value] {
+						t.Fatalf("token %#x installed twice", o.Value)
+					}
+					written[o.Value] = true
+					lastWrite[o.Line] = o.Value
+				} else if o.Value != 0 && !written[o.Value] {
+					t.Fatalf("read of line %#x returned %#x, never written", o.Line, o.Value)
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+			run(t, m)
+
+			cfg := m.Config()
+			total := uint64(cfg.TotalCores()) * n
+			if events != total {
+				t.Fatalf("observed %d events, expected %d", events, total)
+			}
+			if m.Observations() != events {
+				t.Fatalf("Observations() = %d, observer saw %d", m.Observations(), events)
+			}
+			img := m.FinalImage()
+			for line, tok := range lastWrite {
+				if img[line] != tok {
+					t.Errorf("line %#x: final image %#x, last write %#x", line, img[line], tok)
+				}
+			}
+		})
+	}
+}
+
+// Single-writer traces must produce identical final images under Native
+// and PIPM: write tokens depend only on program order, so the image is a
+// pure function of the trace, not of the placement scheme.
+func TestFinalImageSchemeIndependentForPartitionedTraces(t *testing.T) {
+	images := make(map[migration.Kind]map[config.Addr]uint64)
+	for _, scheme := range []migration.Kind{migration.Native, migration.PIPM} {
+		m := build(t, testCfg(), scheme)
+		attachPartitioned(m, 6000)
+		if err := m.EnableValueTracking(nil); err != nil {
+			t.Fatal(err)
+		}
+		run(t, m)
+		images[scheme] = m.FinalImage()
+	}
+	native, pipm := images[migration.Native], images[migration.PIPM]
+	if len(native) == 0 {
+		t.Fatal("empty final image")
+	}
+	if len(native) != len(pipm) {
+		t.Fatalf("image sizes differ: native %d, pipm %d", len(native), len(pipm))
+	}
+	for line, v := range native {
+		if pipm[line] != v {
+			t.Errorf("line %#x: native %#x, pipm %#x", line, v, pipm[line])
+		}
+	}
+}

@@ -73,6 +73,9 @@ func (m *Machine) privateAccess(t sim.Time, c *coreState, rec trace.Record) (sim
 			h.llc.SetState(line, cache.Modified)
 			m.invalidateOtherL1s(h, c, line)
 		}
+		if m.vals != nil {
+			m.vals.serve(c, line, rec.Write, srcCache, h.id)
+		}
 		st.Served[stats.ClassL1Hit]++
 		return t, stats.ClassL1Hit
 	}
@@ -85,6 +88,9 @@ func (m *Machine) privateAccess(t sim.Time, c *coreState, rec trace.Record) (sim
 			m.invalidateOtherL1s(h, c, line)
 		}
 		m.fillL1(c, line, fillSt)
+		if m.vals != nil {
+			m.vals.serve(c, line, rec.Write, srcCache, h.id)
+		}
 		st.Served[stats.ClassLLCHit]++
 		return tL, stats.ClassLLCHit
 	}
@@ -95,6 +101,9 @@ func (m *Machine) privateAccess(t sim.Time, c *coreState, rec trace.Record) (sim
 	}
 	m.fillLLC(c, line, fillSt)
 	m.fillL1(c, line, fillSt)
+	if m.vals != nil {
+		m.vals.serve(c, line, rec.Write, srcLocal, h.id)
+	}
 	st.Served[stats.ClassLocalPrivate]++
 	return done, stats.ClassLocalPrivate
 }
@@ -116,6 +125,9 @@ func (m *Machine) cacheableSharedAt(t sim.Time, c *coreState, rec trace.Record, 
 			c.l1.SetState(line, cache.Modified)
 			h.llc.SetState(line, cache.Modified)
 		}
+		if m.vals != nil {
+			m.vals.serve(c, line, rec.Write, srcCache, h.id)
+		}
 		st.Served[stats.ClassL1Hit]++
 		return t, stats.ClassL1Hit
 	}
@@ -132,6 +144,9 @@ func (m *Machine) cacheableSharedAt(t sim.Time, c *coreState, rec trace.Record, 
 			m.invalidateOtherL1s(h, c, line)
 		}
 		m.fillL1(c, line, fillSt)
+		if m.vals != nil {
+			m.vals.serve(c, line, rec.Write, srcCache, h.id)
+		}
 		st.Served[stats.ClassLLCHit]++
 		return tL, stats.ClassLLCHit
 	}
@@ -151,6 +166,9 @@ func (m *Machine) cacheableSharedAt(t sim.Time, c *coreState, rec trace.Record, 
 		}
 		m.fillLLC(c, line, fillSt)
 		m.fillL1(c, line, fillSt)
+		if m.vals != nil {
+			m.vals.serve(c, line, rec.Write, srcLocal, h.id)
+		}
 		st.Served[stats.ClassLocalShared]++
 		return done, stats.ClassLocalShared
 	}
@@ -173,6 +191,9 @@ func (m *Machine) cacheableSharedAt(t sim.Time, c *coreState, rec trace.Record, 
 				done := h.dram.Access(tR, m.localMigratedAddr(h.id, entry, rec.Addr), false)
 				m.fillLLC(c, line, cache.MigratedExclusive)
 				m.fillL1(c, line, cache.MigratedExclusive)
+				if m.vals != nil {
+					m.vals.serve(c, line, rec.Write, srcLocal, h.id)
+				}
 				st.Served[stats.ClassLocalShared]++
 				return done, stats.ClassLocalShared
 			}
@@ -229,7 +250,11 @@ func (m *Machine) forwardedFetch(t sim.Time, c *coreState, rec trace.Record, pag
 	// Owner side: if the block is cached (ME), it comes from the LLC and
 	// the copy downgrades (⑥ Inter-Rd: ME→S) or invalidates (⑤ Inter-Wr);
 	// otherwise (I') it is read from local DRAM with a remap-table lookup.
-	if ownSt, cached := owner.llc.Peek(line); cached && ownSt == cache.MigratedExclusive {
+	ownSt, ownCached := owner.llc.Peek(line)
+	if m.vals != nil {
+		m.vals.forwardServe(c, line, rec.Write, ownCached && ownSt == cache.MigratedExclusive, g)
+	}
+	if ownCached && ownSt == cache.MigratedExclusive {
 		lat += m.llcLat
 		if rec.Write {
 			m.invalidateLineEverywhere(owner, line)
@@ -300,6 +325,9 @@ func (m *Machine) cxlServe(t sim.Time, c *coreState, rec trace.Record) (sim.Time
 		dataLat = (m.fabric.DeviceToHost(t, g, 0) - t) + m.llcLat +
 			(m.fabric.HostToDevice(t, g, cxlDataBytes) - t)
 		m.cxlMem.Access(t, rec.Addr, true) // async: memory now clean
+		if m.vals != nil {
+			m.vals.forwardServe(c, line, rec.Write, true, g)
+		}
 		if rec.Write {
 			m.invalidateLineEverywhere(m.hosts[g], line)
 			m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
@@ -332,6 +360,9 @@ func (m *Machine) cxlServe(t sim.Time, c *coreState, rec trace.Record) (sim.Time
 			m.installDirEntry(line, coherence.Entry{State: coherence.DirShared, Sharers: e.Sharers | 1<<uint(h.id)})
 			fillSt = cache.Shared
 		}
+		if m.vals != nil {
+			m.vals.serve(c, line, rec.Write, srcCXL, 0)
+		}
 
 	default:
 		// No cached copy anywhere (or we are the recorded owner after an
@@ -343,6 +374,9 @@ func (m *Machine) cxlServe(t sim.Time, c *coreState, rec trace.Record) (sim.Time
 			fillSt = cache.Exclusive
 		}
 		m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
+		if m.vals != nil {
+			m.vals.serve(c, line, rec.Write, srcCXL, 0)
+		}
 	}
 
 	downLat := m.fabric.DeviceToHost(t, h.id, cxlDataBytes) - t
@@ -391,6 +425,9 @@ func (m *Machine) writeUpgrade(t sim.Time, c *coreState, rec trace.Record) (sim.
 	h.llc.Fill(line, cache.Modified)
 	c.l1.Fill(line, cache.Modified)
 	m.invalidateOtherL1s(h, c, line)
+	if m.vals != nil {
+		m.vals.serve(c, line, true, srcCache, h.id)
+	}
 	m.col.Host(h.id).Served[stats.ClassCXL]++
 	return done, stats.ClassCXL
 }
@@ -412,7 +449,11 @@ func (m *Machine) gimRemoteAccess(t sim.Time, c *coreState, rec trace.Record, g 
 
 	// Owning host's local coherence directory (Fig. 3 ③): the LLC may hold
 	// the freshest copy.
-	if _, cached := owner.llc.Peek(line); cached {
+	_, ownerCached := owner.llc.Peek(line)
+	if m.vals != nil {
+		m.vals.gimServe(c, line, rec.Write, g, ownerCached)
+	}
+	if ownerCached {
 		if rec.Write {
 			m.invalidateLineEverywhere(owner, line)
 			owner.dram.Access(t, rec.Addr, true) // async local update
@@ -469,6 +510,9 @@ func (m *Machine) handleLLCEviction(h *host, ev cache.Eviction) {
 		// Private data — or the Local-only upper bound, whose "shared" data
 		// is backed by local DRAM too.
 		if vState.Dirty() {
+			if m.vals != nil {
+				m.vals.wbToLocal(h.id, ev.Line)
+			}
 			h.dram.Access(now, addr, true) // async writeback
 		}
 		return
@@ -480,6 +524,9 @@ func (m *Machine) handleLLCEviction(h *host, ev cache.Eviction) {
 	if vState == cache.MigratedExclusive {
 		entry, _ := m.mgr.LocalLookup(h.id, page)
 		if entry != nil {
+			if m.vals != nil {
+				m.vals.wbToLocal(h.id, ev.Line)
+			}
 			h.dram.Access(now, m.localMigratedAddr(h.id, entry, addr), true)
 		}
 		return
@@ -488,6 +535,9 @@ func (m *Machine) handleLLCEviction(h *host, ev cache.Eviction) {
 	// Kernel scheme with the page migrated here: plain local writeback.
 	if m.pt != nil && m.pt.Owner(page) == h.id {
 		if vState.Dirty() {
+			if m.vals != nil {
+				m.vals.wbToLocal(h.id, ev.Line)
+			}
 			h.dram.Access(now, addr, true)
 		}
 		return
@@ -502,6 +552,9 @@ func (m *Machine) handleLLCEviction(h *host, ev cache.Eviction) {
 			(vState == cache.Modified || (vState == cache.Exclusive && m.cfg.PIPM.MigrateOnExclusiveEviction)) {
 			entry, _ := m.mgr.LocalLookup(h.id, page)
 			if entry != nil && m.mgr.MigrateLine(h.id, page, int(ev.Line)&(config.LinesPerPage-1)) {
+				if m.vals != nil {
+					m.vals.wbToLocal(h.id, ev.Line)
+				}
 				h.dram.Access(now, m.localMigratedAddr(h.id, entry, addr), true)
 				// The CXL-side in-memory bit flips too, but it lives in ECC
 				// spare bits and piggybacks on subsequent accesses (§4.3.2
@@ -515,6 +568,9 @@ func (m *Machine) handleLLCEviction(h *host, ev cache.Eviction) {
 
 	// Ordinary CXL writeback / silent clean eviction.
 	if vState.Dirty() {
+		if m.vals != nil {
+			m.vals.wbToCXL(h.id, ev.Line)
+		}
 		t := m.fabric.HostToDeviceBG(now, h.id, cxlDataBytes)
 		m.cxlMem.Access(t, addr, true)
 		m.devDir.Remove(ev.Line)
@@ -537,6 +593,9 @@ func (m *Machine) installDirEntry(line config.Addr, e coherence.Entry) {
 	switch bi.Entry.State {
 	case coherence.DirModified:
 		g := int(bi.Entry.Owner)
+		if m.vals != nil {
+			m.vals.wbToCXL(g, bi.Line)
+		}
 		m.invalidateLineEverywhere(m.hosts[g], bi.Line)
 		t := m.fabric.HostToDeviceBG(now, g, cxlDataBytes)
 		m.cxlMem.Access(t, bi.Line<<config.LineShift, true)
@@ -579,11 +638,14 @@ func (m *Machine) applyRevocation(t sim.Time, page int64, out pipmcore.Outcome) 
 	g := out.RevokedFrom
 	owner := m.hosts[g]
 	base := m.amap.SharedAddr(config.Addr(page) * config.PageBytes)
-	// Dropped cache lines leave the device directory too; dirty CXL-backed
-	// copies write back (migrated ME data travels with the bulk transfer
-	// below).
+	if m.vals != nil {
+		m.vals.revoke(page, g, out.RevokedBitmap)
+	}
+	// Dropped cache lines leave the device directory too; dirty copies —
+	// CXL-backed M and cached ME alike — write back to CXL memory: the
+	// page's remapping is gone, so local DRAM can no longer hold them.
 	owner.llc.InvalidatePage(base.Page(), func(l config.Addr, st cache.State) {
-		if st == cache.Modified {
+		if st.Dirty() {
 			wb := m.fabric.HostToDeviceBG(t, g, cxlDataBytes)
 			m.cxlMem.Access(wb, l<<config.LineShift, true)
 		}

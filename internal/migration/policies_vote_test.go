@@ -1,0 +1,143 @@
+package migration
+
+import "testing"
+
+// Table-driven edge cases for the majority-vote machinery (pageCounts.top
+// and .lead) and the OS-skew policy built on it — the kernel-side analogue
+// of PIPM's Boyer–Moore-style 6-bit vote.
+
+func record(pc *pageCounts, page int64, host int, n int) {
+	for i := 0; i < n; i++ {
+		pc.record(host, page)
+	}
+}
+
+func TestVoteMargins(t *testing.T) {
+	cases := []struct {
+		name       string
+		accesses   [3]int // per-host access counts for page 0, 3 hosts
+		wantHost   int
+		wantMargin int64
+	}{
+		{"single access", [3]int{0, 1, 0}, 1, 1},
+		{"no access", [3]int{0, 0, 0}, 0, 0},
+		{"exact tie resolves to lowest host", [3]int{5, 5, 0}, 0, 0},
+		{"three-way tie resolves to lowest host", [3]int{4, 4, 4}, 0, -4},
+		{"clear majority", [3]int{10, 2, 1}, 0, 7},
+		{"majority erased by others combined", [3]int{6, 4, 3}, 0, -1},
+		{"one ahead of combined", [3]int{8, 4, 3}, 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pc := newPageCounts(1, 3)
+			for h, n := range tc.accesses {
+				record(pc, 0, h, n)
+			}
+			h, margin := pc.lead(0)
+			if h != tc.wantHost || margin != tc.wantMargin {
+				t.Fatalf("lead = (host %d, margin %d), want (host %d, margin %d)",
+					h, margin, tc.wantHost, tc.wantMargin)
+			}
+		})
+	}
+}
+
+func TestVoteDecayToZero(t *testing.T) {
+	pc := newPageCounts(1, 2)
+	record(pc, 0, 0, 7)
+	for i := 0; i < 3; i++ {
+		pc.halve()
+	}
+	if _, c := pc.top(0); c != 0 {
+		t.Fatalf("count after three halvings of 7: %d, want 0", c)
+	}
+	if _, margin := pc.lead(0); margin != 0 {
+		t.Fatalf("margin after decay to zero: %d, want 0", margin)
+	}
+}
+
+func TestVoteSaturates(t *testing.T) {
+	pc := newPageCounts(1, 2)
+	pc.counts[0] = ^uint32(0) - 1
+	pc.record(0, 0)
+	pc.record(0, 0) // must not wrap
+	if _, c := pc.top(0); c != ^uint32(0) {
+		t.Fatalf("saturating counter wrapped: %d", c)
+	}
+}
+
+// OS-skew promotes only on a clear majority margin, never on a tie, and
+// pulls a page back once another host takes the lead (owner flip-flop
+// resolves through CXL, not host-to-host bouncing).
+func TestOSSkewVoteEdgeCases(t *testing.T) {
+	const threshold = 4
+
+	t.Run("tie never promotes", func(t *testing.T) {
+		p := NewOSSkew(1, 2, threshold)
+		pt := NewPageTable(1, 2)
+		for i := 0; i < 10; i++ {
+			p.RecordAccess(0, 0, false)
+			p.RecordAccess(1, 0, false)
+		}
+		if ops := p.Tick(pt, 8); len(ops) != 0 {
+			t.Fatalf("tie produced ops: %v", ops)
+		}
+	})
+
+	t.Run("single access below threshold stays put", func(t *testing.T) {
+		p := NewOSSkew(1, 2, threshold)
+		pt := NewPageTable(1, 2)
+		p.RecordAccess(1, 0, false)
+		if ops := p.Tick(pt, 8); len(ops) != 0 {
+			t.Fatalf("single access promoted: %v", ops)
+		}
+	})
+
+	t.Run("clear majority promotes to leader", func(t *testing.T) {
+		p := NewOSSkew(1, 2, threshold)
+		pt := NewPageTable(1, 2)
+		for i := 0; i < threshold; i++ {
+			p.RecordAccess(1, 0, false)
+		}
+		ops := p.Tick(pt, 8)
+		if len(ops) != 1 || ops[0].To != 1 {
+			t.Fatalf("majority did not promote to host 1: %v", ops)
+		}
+	})
+
+	t.Run("owner flip-flop demotes through CXL", func(t *testing.T) {
+		p := NewOSSkew(1, 2, threshold)
+		pt := NewPageTable(1, 2)
+		pt.Set(0, 0) // resident at host 0
+		// Host 1 takes a commanding lead.
+		for i := 0; i < 3*threshold; i++ {
+			p.RecordAccess(1, 0, false)
+		}
+		ops := p.Tick(pt, 8)
+		if len(ops) != 1 || ops[0].To != ToCXL {
+			t.Fatalf("lead change did not demote to CXL: %v", ops)
+		}
+		pt.Set(0, ToCXL)
+		// Still leading next epoch (counts halved, not cleared): promote.
+		for i := 0; i < threshold; i++ {
+			p.RecordAccess(1, 0, false)
+		}
+		ops = p.Tick(pt, 8)
+		if len(ops) != 1 || ops[0].To != 1 {
+			t.Fatalf("flip-flop second leg did not promote to host 1: %v", ops)
+		}
+	})
+
+	t.Run("budget caps promotions", func(t *testing.T) {
+		p := NewOSSkew(2, 2, threshold)
+		pt := NewPageTable(2, 2)
+		for page := int64(0); page < 2; page++ {
+			for i := 0; i < threshold; i++ {
+				p.RecordAccess(0, page, false)
+			}
+		}
+		if ops := p.Tick(pt, 1); len(ops) != 1 {
+			t.Fatalf("budget 1 allowed %d promotions", len(ops))
+		}
+	})
+}

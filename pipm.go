@@ -209,3 +209,17 @@ type CheckViolation = check.Violation
 func VerifyCoherence(hosts int, pipmExtension bool) (CheckResult, *CheckViolation) {
 	return check.Run(check.Options{Hosts: hosts, PIPM: pipmExtension})
 }
+
+// ParallelCheckResult summarizes a sharded parallel model-checking run.
+type ParallelCheckResult = check.PResult
+
+// ParallelCheckViolation is an invariant failure from the parallel checker.
+type ParallelCheckViolation = check.PViolation
+
+// VerifyCoherenceParallel model-checks the generalized protocol instance —
+// hosts ∈ [2,4], lines ∈ [1,2] of one page coupled through promote/revoke —
+// with the sharded worker-pool BFS of internal/check. workers ≤ 0 uses
+// GOMAXPROCS. Results are deterministic for any worker count.
+func VerifyCoherenceParallel(hosts, lines int, pipmExtension bool, workers int) (ParallelCheckResult, *ParallelCheckViolation) {
+	return check.PRun(check.POptions{Hosts: hosts, Lines: lines, PIPM: pipmExtension, Workers: workers})
+}
