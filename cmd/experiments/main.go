@@ -1,19 +1,30 @@
 // Command experiments regenerates the paper's evaluation artefacts: Tables
-// 1–2 and Figures 4–5 and 10–17, printed as text tables. Results for the
-// shared (workload × scheme) sweep are memoized across figures.
+// 1–2 and Figures 4–5 and 10–17, printed as text tables. Every simulation
+// flows through the harness's run-graph engine: runs are deduplicated by
+// canonical run key (full config + workload params + scheme + records +
+// seed), shared across figures, and executed on a bounded worker pool.
+// Artefact content on stdout is byte-identical for any -parallel value;
+// progress and timing lines go to stderr.
 //
 // Usage:
 //
 //	experiments                          # everything (several minutes)
+//	experiments -parallel 8              # same output, more worker slots
 //	experiments -exp fig10               # one artefact
 //	experiments -exp fig10,fig11 -records 100000 -workloads pr,ycsb
+//	experiments -quick -json BENCH_quick.json   # record per-run timings
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"pipm"
@@ -31,8 +42,18 @@ func main() {
 		records   = flag.Int64("records", 0, "override trace records per core")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: full catalog)")
 		quick     = flag.Bool("quick", false, "use the small quick configuration")
+		parallel  = flag.Int("parallel", 0, "max simulations in flight (0 = GOMAXPROCS)")
+		progress  = flag.Bool("progress", false, "emit per-run progress/ETA lines on stderr")
+		jsonPath  = flag.String("json", "", "write per-run timing records (BENCH_*.json) to this file")
 	)
 	flag.Parse()
+
+	// Reject unknown artefact names before the first simulation runs: a typo
+	// in a comma list must fail immediately, not after minutes of sweeps.
+	ids, err := selectArtefacts(*exps)
+	if err != nil {
+		fatal(err)
+	}
 
 	opt := pipm.DefaultSuiteOptions()
 	if *quick {
@@ -51,49 +72,151 @@ func main() {
 			opt.Workloads = append(opt.Workloads, wl)
 		}
 	}
+	opt.Workers = *parallel
+	if *progress {
+		opt.Progress = os.Stderr
+	}
 	suite := pipm.NewSuite(opt)
 
-	want := map[string]bool{}
-	if *exps == "all" {
-		for _, id := range order {
-			want[id] = true
+	// Build every requested artefact concurrently — the engine's memo and
+	// singleflight keep shared runs deduplicated — but buffer each one and
+	// print in presentation order, so stdout is deterministic.
+	wallStart := time.Now()
+	arts := make([]*artefact, len(ids))
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		arts[i] = &artefact{id: id}
+		wg.Add(1)
+		go func(a *artefact) {
+			defer wg.Done()
+			start := time.Now()
+			a.err = run(&a.out, suite, opt, a.id)
+			a.wall = time.Since(start)
+		}(arts[i])
+	}
+	wg.Wait()
+	for _, a := range arts {
+		if a.err != nil {
+			fatal(fmt.Errorf("%s: %w", a.id, a.err))
 		}
-	} else {
-		for _, id := range strings.Split(*exps, ",") {
-			want[strings.TrimSpace(id)] = true
-		}
+		os.Stdout.Write(a.out.Bytes())
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", a.id, a.wall.Round(time.Millisecond))
 	}
 
-	for _, id := range order {
-		if !want[id] {
-			continue
+	if *jsonPath != "" {
+		if err := writeBench(*jsonPath, suite, opt, arts, time.Since(wallStart), *parallel, *quick); err != nil {
+			fatal(err)
 		}
-		delete(want, id)
-		start := time.Now()
-		if err := run(suite, opt, id); err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
-		}
-		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
-	}
-	for id := range want {
-		fatal(fmt.Errorf("unknown experiment %q", id))
+		fmt.Fprintf(os.Stderr, "[bench report written to %s]\n", *jsonPath)
 	}
 }
 
-func run(s *pipm.Suite, opt pipm.SuiteOptions, id string) error {
+// artefact is one requested experiment: its id, buffered stdout content,
+// wall-clock cost and error.
+type artefact struct {
+	id   string
+	out  bytes.Buffer
+	wall time.Duration
+	err  error
+}
+
+// selectArtefacts resolves the -exp flag against the known artefact order,
+// returning the requested ids in presentation order or an error naming the
+// first unknown id.
+func selectArtefacts(exps string) ([]string, error) {
+	known := map[string]bool{}
+	for _, id := range order {
+		known[id] = true
+	}
+	if exps == "all" {
+		return order, nil
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(exps, ",") {
+		id = strings.TrimSpace(id)
+		if !known[id] {
+			return nil, fmt.Errorf("unknown experiment %q (have: %s)", id, strings.Join(order, ", "))
+		}
+		want[id] = true
+	}
+	var ids []string
+	for _, id := range order {
+		if want[id] {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
+}
+
+// benchReport is the -json schema: enough to track the perf trajectory of
+// the experiment engine across PRs (BENCH_*.json).
+type benchReport struct {
+	Schema         string           `json:"schema"`
+	Quick          bool             `json:"quick"`
+	Parallel       int              `json:"parallel"`
+	GOMAXPROCS     int              `json:"gomaxprocs"`
+	RecordsPerCore int64            `json:"records_per_core"`
+	Seed           int64            `json:"seed"`
+	Workloads      []string         `json:"workloads"`
+	Artefacts      []artefactTiming `json:"artefacts"`
+	Runs           []pipm.RunStats  `json:"runs"`
+	UniqueRuns     int              `json:"unique_runs"`
+	MemoHits       int              `json:"memo_hits"`
+	RunWallMSTotal float64          `json:"run_wall_ms_total"`
+	WallMSTotal    float64          `json:"wall_ms_total"`
+}
+
+type artefactTiming struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+func writeBench(path string, s *pipm.Suite, opt pipm.SuiteOptions,
+	arts []*artefact, total time.Duration, parallel int, quick bool) error {
+	rep := benchReport{
+		Schema:         "pipm-bench/v1",
+		Quick:          quick,
+		Parallel:       parallel,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		RecordsPerCore: opt.RecordsPerCore,
+		Seed:           opt.Seed,
+		Runs:           s.RunStats(),
+		WallMSTotal:    float64(total) / float64(time.Millisecond),
+	}
+	for _, wl := range opt.Workloads {
+		rep.Workloads = append(rep.Workloads, wl.Name)
+	}
+	for _, a := range arts {
+		rep.Artefacts = append(rep.Artefacts,
+			artefactTiming{ID: a.id, WallMS: float64(a.wall) / float64(time.Millisecond)})
+	}
+	rep.UniqueRuns = len(rep.Runs)
+	for _, r := range rep.Runs {
+		rep.MemoHits += r.MemoHits
+		rep.RunWallMSTotal += r.WallMS
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(w io.Writer, s *pipm.Suite, opt pipm.SuiteOptions, id string) error {
 	printT := func(t pipm.Table, err error) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(t.Format())
+		fmt.Fprint(w, t.Format())
 		return nil
 	}
 	switch id {
 	case "table1":
-		fmt.Print(pipm.Table1())
+		fmt.Fprint(w, pipm.Table1())
 		return nil
 	case "table2":
-		fmt.Print(pipm.Table2(opt.Cfg))
+		fmt.Fprint(w, pipm.Table2(opt.Cfg))
 		return nil
 	case "fig4":
 		tabs, err := s.Fig4()
@@ -101,7 +224,7 @@ func run(s *pipm.Suite, opt pipm.SuiteOptions, id string) error {
 			return err
 		}
 		for _, t := range tabs {
-			fmt.Print(t.Format())
+			fmt.Fprint(w, t.Format())
 		}
 		return nil
 	case "fig5":
@@ -139,7 +262,7 @@ func run(s *pipm.Suite, opt pipm.SuiteOptions, id string) error {
 				if v != nil {
 					return fmt.Errorf("%s/%d hosts: %v", name, hosts, v)
 				}
-				fmt.Printf("%-9s %d hosts: %d states, %d transitions, SWMR+SC hold, deadlock-free\n",
+				fmt.Fprintf(w, "%-9s %d hosts: %d states, %d transitions, SWMR+SC hold, deadlock-free\n",
 					name, hosts, res.States, res.Transitions)
 			}
 		}

@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pipm/internal/config"
+	"pipm/internal/migration"
+	"pipm/internal/sim"
+	"pipm/internal/workload"
+)
+
+// RunRequest names one simulation the run graph needs: the full
+// configuration, workload, scheme and trace budget. Requests are the unit of
+// deduplication — two requests with the same RunKey execute once.
+type RunRequest struct {
+	Cfg     config.Config
+	WL      workload.Params
+	Scheme  migration.Kind
+	Records int64
+	Seed    int64
+}
+
+// Key returns the request's canonical run key.
+func (r RunRequest) Key() RunKey {
+	return KeyOf(r.Cfg, r.WL, r.Scheme, r.Records, r.Seed)
+}
+
+// RunStats is the observability record of one executed simulation: how long
+// it took on the wall clock, how much simulated time and how many
+// instructions it covered, and how many times the memo served it again.
+type RunStats struct {
+	Key      string `json:"key"`
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	Records  int64  `json:"records_per_core"`
+	Seed     int64  `json:"seed"`
+
+	WallMS       float64 `json:"wall_ms"` // host wall-clock for RunOne
+	SimPS        int64   `json:"sim_ps"`  // simulated execution time (picoseconds)
+	Instructions int64   `json:"instructions"`
+	MIPS         float64 `json:"mips"`      // simulated instructions per wall-µs
+	MemoHits     int     `json:"memo_hits"` // extra requests served from the memo
+}
+
+// engine is the run-graph scheduler: a RunKey-addressed memo with
+// singleflight semantics over a bounded worker pool. Any number of figure
+// builders may request runs concurrently; each distinct key executes exactly
+// once, at most `workers` simulations run at a time, and every requester of
+// a key blocks until its one execution finishes. Results are deterministic
+// for any worker count because RunOne itself is deterministic and table
+// assembly reads the memo in presentation order.
+type engine struct {
+	workers  int
+	sem      chan struct{}
+	progress io.Writer
+
+	mu        sync.Mutex
+	runs      map[RunKey]*runEntry
+	scheduled int
+	completed int
+	wallSum   time.Duration
+}
+
+type runEntry struct {
+	done  chan struct{} // closed when res/err/stats are final
+	res   Result
+	err   error
+	stats RunStats
+}
+
+func newEngine(workers int, progress io.Writer) *engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &engine{
+		workers:  workers,
+		sem:      make(chan struct{}, workers),
+		progress: progress,
+		runs:     map[RunKey]*runEntry{},
+	}
+}
+
+// get returns the memoized result for the request, executing it if this is
+// the first request for its key. Concurrent callers with the same key share
+// one execution (singleflight); callers with distinct keys run in parallel,
+// bounded by the worker pool.
+func (e *engine) get(req RunRequest) (Result, error) {
+	key := req.Key()
+	e.mu.Lock()
+	if ent, ok := e.runs[key]; ok {
+		ent.stats.MemoHits++
+		e.mu.Unlock()
+		<-ent.done
+		return ent.res, ent.err
+	}
+	ent := &runEntry{done: make(chan struct{})}
+	ent.stats = RunStats{
+		Key:      key.String(),
+		Workload: req.WL.Name,
+		Scheme:   req.Scheme.String(),
+		Records:  req.Records,
+		Seed:     req.Seed,
+	}
+	e.runs[key] = ent
+	e.scheduled++
+	e.mu.Unlock()
+
+	e.sem <- struct{}{}
+	start := time.Now()
+	ent.res, ent.err = RunOne(req.Cfg, req.WL, req.Scheme, req.Records, req.Seed)
+	wall := time.Since(start)
+	<-e.sem
+
+	ent.stats.WallMS = float64(wall) / float64(time.Millisecond)
+	ent.stats.SimPS = int64(ent.res.ExecTime)
+	ent.stats.Instructions = ent.res.Instructions
+	if us := wall.Microseconds(); us > 0 {
+		ent.stats.MIPS = float64(ent.res.Instructions) / float64(us)
+	}
+	close(ent.done)
+	e.noteDone(ent, wall)
+	if ent.err != nil {
+		return ent.res, fmt.Errorf("harness: %s/%v: %w", req.WL.Name, req.Scheme, ent.err)
+	}
+	return ent.res, nil
+}
+
+// noteDone updates the progress counters and, when a progress writer is
+// attached, emits one completion line with a naive remaining-work ETA
+// (mean wall per run × outstanding runs ÷ workers).
+func (e *engine) noteDone(ent *runEntry, wall time.Duration) {
+	e.mu.Lock()
+	e.completed++
+	e.wallSum += wall
+	completed, scheduled := e.completed, e.scheduled
+	mean := e.wallSum / time.Duration(completed)
+	e.mu.Unlock()
+	if e.progress == nil {
+		return
+	}
+	remaining := scheduled - completed
+	eta := mean * time.Duration(remaining) / time.Duration(e.workers)
+	fmt.Fprintf(e.progress, "[engine] %d/%d runs  %s/%s %v  sim %v  (eta %v for %d queued)\n",
+		completed, scheduled, ent.stats.Workload, ent.stats.Scheme,
+		wall.Round(time.Millisecond), sim.Time(ent.stats.SimPS),
+		eta.Round(100*time.Millisecond), remaining)
+}
+
+// runAll executes the deduplicated request set on the worker pool and blocks
+// until every run finishes. The first error in request order is returned —
+// request order, not completion order, so the error is deterministic for any
+// worker count.
+func (e *engine) runAll(reqs []RunRequest) error {
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req RunRequest) {
+			defer wg.Done()
+			_, errs[i] = e.get(req)
+		}(i, req)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// statsSnapshot returns the per-run records of every completed execution,
+// sorted by (workload, scheme, key) so the order is independent of
+// completion order.
+func (e *engine) statsSnapshot() []RunStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []RunStats
+	for _, ent := range e.runs {
+		select {
+		case <-ent.done:
+			out = append(out, ent.stats)
+		default: // still executing; skip
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		if out[i].Scheme != out[j].Scheme {
+			return out[i].Scheme < out[j].Scheme
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

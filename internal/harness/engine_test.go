@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"pipm/internal/migration"
+)
+
+// renderArtefacts builds a deterministic set of figures — concurrently, to
+// exercise cross-builder singleflight — and concatenates their rendered
+// tables in presentation order.
+func renderArtefacts(t *testing.T, s *Suite) string {
+	t.Helper()
+	type job struct {
+		name string
+		run  func() (string, error)
+	}
+	one := func(f func() (Table, error)) func() (string, error) {
+		return func() (string, error) {
+			tab, err := f()
+			if err != nil {
+				return "", err
+			}
+			return tab.Format(), nil
+		}
+	}
+	jobs := []job{
+		{"fig4", func() (string, error) {
+			tabs, err := s.Fig4()
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			for _, tab := range tabs {
+				b.WriteString(tab.Format())
+			}
+			return b.String(), nil
+		}},
+		{"fig5", one(s.Fig5)},
+		{"fig10", one(s.Fig10)},
+		{"fig13", one(s.Fig13)},
+	}
+	outs := make([]string, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			outs[i], errs[i] = j.run()
+		}(i, j)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: %v", jobs[i].name, err)
+		}
+	}
+	return strings.Join(outs, "")
+}
+
+// TestParallelDeterminism asserts the engine's rendered tables are
+// byte-identical to the sequential path for worker counts 1, 2 and 8 —
+// run under -race in CI.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	o := QuickOptions()
+	o.RecordsPerCore = 4_000
+	outputs := map[int]string{}
+	for _, workers := range []int{1, 2, 8} {
+		opt := o
+		opt.Workers = workers
+		outputs[workers] = renderArtefacts(t, NewSuite(opt))
+	}
+	if outputs[1] == "" {
+		t.Fatal("sequential render is empty")
+	}
+	for _, workers := range []int{2, 8} {
+		if outputs[workers] != outputs[1] {
+			t.Errorf("rendered tables differ between 1 and %d workers:\n--- 1 worker ---\n%s\n--- %d workers ---\n%s",
+				workers, outputs[1], workers, outputs[workers])
+		}
+	}
+}
+
+// TestEngineSingleflight floods the engine with concurrent requests for one
+// key and checks exactly one simulation executed.
+func TestEngineSingleflight(t *testing.T) {
+	o := QuickOptions()
+	o.RecordsPerCore = 4_000
+	o.Workers = 4
+	s := NewSuite(o)
+	wl := o.Workloads[0]
+
+	const callers = 16
+	results := make([]Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.get(o.Cfg, wl, migration.PIPM)
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d saw a different result", i)
+		}
+	}
+	st := s.RunStats()
+	if len(st) != 1 {
+		t.Fatalf("singleflight executed %d runs, want 1", len(st))
+	}
+	if st[0].MemoHits != callers-1 {
+		t.Fatalf("MemoHits = %d, want %d", st[0].MemoHits, callers-1)
+	}
+}
+
+// TestEngineDeduplicatesAcrossFigures checks that the shared sweep points of
+// different figures hit the memo: after Fig5 and Fig10, the Nomad and Memtis
+// base runs must have executed once each.
+func TestEngineDeduplicatesAcrossFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	o := QuickOptions()
+	o.RecordsPerCore = 4_000
+	o.Workloads = o.Workloads[:1]
+	s := NewSuite(o)
+	if _, err := s.Fig5(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fig10(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, st := range s.RunStats() {
+		seen[st.Workload+"/"+st.Scheme]++
+	}
+	// Fig5 runs nomad+memtis; Fig10 runs native plus all seven schemes. The
+	// overlap must not re-execute.
+	wl := o.Workloads[0].Name
+	for _, scheme := range []string{"nomad", "memtis"} {
+		if n := seen[wl+"/"+scheme]; n != 1 {
+			t.Errorf("%s/%s executed %d times, want 1", wl, scheme, n)
+		}
+	}
+	wantRuns := 1 + len(fig10Schemes) // native + the seven comparison schemes
+	if len(seen) != wantRuns {
+		t.Errorf("executed %d distinct runs, want %d: %v", len(seen), wantRuns, seen)
+	}
+}
+
+// TestEngineProgressAndError checks the progress writer emits per-run lines
+// and that errors surface deterministically through the engine.
+func TestEngineProgressAndError(t *testing.T) {
+	o := QuickOptions()
+	o.RecordsPerCore = 3_000
+	var buf syncBuffer
+	o.Progress = &buf
+	s := NewSuite(o)
+	if _, err := s.get(o.Cfg, o.Workloads[0], migration.Native); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); !strings.Contains(got, "[engine] 1/1 runs") {
+		t.Errorf("progress line missing: %q", got)
+	}
+
+	bad := o.Cfg
+	bad.Hosts = 0
+	if _, err := s.get(bad, o.Workloads[0], migration.Native); err == nil {
+		t.Fatal("engine accepted a broken config")
+	}
+	// The failed run is memoized too: asking again must not re-execute.
+	before := len(s.RunStats())
+	if _, err := s.get(bad, o.Workloads[0], migration.Native); err == nil {
+		t.Fatal("memoized failure did not surface")
+	}
+	if after := len(s.RunStats()); after != before {
+		t.Fatalf("failed run re-executed: %d -> %d stats", before, after)
+	}
+}
+
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -10,20 +10,45 @@ import (
 	"pipm/internal/workload"
 )
 
-// Suite runs the paper's experiments over one Options, memoizing the
-// (workload, scheme) runs Figures 10–13 share.
+// Suite runs the paper's experiments over one Options. All simulations flow
+// through a run-graph engine that deduplicates by canonical RunKey and
+// executes on a bounded worker pool, so figures share runs (the Fig 10–13
+// sweep, every figure's Native baseline, Fig 4's base-interval points, the
+// sensitivity studies' default-parameter points) and independent runs
+// proceed in parallel. Each figure first enumerates every run it needs,
+// prefetches the set, then assembles its table from the memo in
+// presentation order — rendered output is byte-identical for any worker
+// count.
 type Suite struct {
 	opt Options
-	sw  *sweep
+	eng *engine
 }
 
 // NewSuite builds a suite.
 func NewSuite(opt Options) *Suite {
-	return &Suite{opt: opt, sw: newSweep(opt)}
+	return &Suite{opt: opt, eng: newEngine(opt.Workers, opt.Progress)}
 }
 
 // Options returns the suite's options.
 func (s *Suite) Options() Options { return s.opt }
+
+// RunStats returns the observability record of every simulation executed so
+// far — wall clock, simulated time, instruction throughput and memo hits —
+// sorted by (workload, scheme, key).
+func (s *Suite) RunStats() []RunStats { return s.eng.statsSnapshot() }
+
+// req names one run at the suite's record budget and seed.
+func (s *Suite) req(cfg config.Config, wl workload.Params, k migration.Kind) RunRequest {
+	return RunRequest{Cfg: cfg, WL: wl, Scheme: k, Records: s.opt.RecordsPerCore, Seed: s.opt.Seed}
+}
+
+// get fetches one run through the engine's memo.
+func (s *Suite) get(cfg config.Config, wl workload.Params, k migration.Kind) (Result, error) {
+	return s.eng.get(s.req(cfg, wl, k))
+}
+
+// prefetch executes the request set on the worker pool before assembly.
+func (s *Suite) prefetch(reqs []RunRequest) error { return s.eng.runAll(reqs) }
 
 // fig10Schemes is the presentation order of the end-to-end comparison.
 var fig10Schemes = []migration.Kind{
@@ -70,7 +95,9 @@ func Table2(cfg config.Config) string {
 
 // Fig4 reproduces the migration-interval study: Nomad and Memtis at the
 // paper's 100 ms / 10 ms / 1 ms epochs (scaled), normalized to Native, plus
-// the overhead breakdown at each interval.
+// the overhead breakdown at each interval. Every point routes through the
+// engine, so the 10 ms point — the base Kernel.Interval — reuses the same
+// memoized runs as Figures 5 and 10–13 instead of re-simulating.
 func (s *Suite) Fig4() ([]Table, error) {
 	// DefaultOptions' epoch stands in for the paper's 10 ms.
 	base := s.opt.Cfg.Kernel.Interval
@@ -83,6 +110,24 @@ func (s *Suite) Fig4() ([]Table, error) {
 		{"1ms", base / 10},
 	}
 	schemes := []migration.Kind{migration.Nomad, migration.Memtis}
+
+	intervalCfg := func(d sim.Time) config.Config {
+		cfg := s.opt.Cfg
+		cfg.Kernel.Interval = d
+		return cfg
+	}
+	var reqs []RunRequest
+	for _, wl := range s.opt.Workloads {
+		reqs = append(reqs, s.req(s.opt.Cfg, wl, migration.Native))
+		for _, k := range schemes {
+			for _, iv := range intervals {
+				reqs = append(reqs, s.req(intervalCfg(iv.d), wl, k))
+			}
+		}
+	}
+	if err := s.prefetch(reqs); err != nil {
+		return nil, err
+	}
 
 	perf := Table{
 		Title:     "Figure 4: execution time vs migration interval (normalized to Native, lower is better)",
@@ -107,16 +152,14 @@ func (s *Suite) Fig4() ([]Table, error) {
 	for r, wl := range s.opt.Workloads {
 		perf.Rows = append(perf.Rows, wl.Name)
 		perf.Cells = append(perf.Cells, make([]float64, len(perf.Cols)))
-		nat, err := s.sw.get(wl, migration.Native)
+		nat, err := s.get(s.opt.Cfg, wl, migration.Native)
 		if err != nil {
 			return nil, err
 		}
 		col := 0
 		for _, k := range schemes {
 			for _, iv := range intervals {
-				cfg := s.opt.Cfg
-				cfg.Kernel.Interval = iv.d
-				res, err := RunOne(cfg, wl, k, s.opt.RecordsPerCore, s.opt.Seed)
+				res, err := s.get(intervalCfg(iv.d), wl, k)
 				if err != nil {
 					return nil, err
 				}
@@ -139,6 +182,16 @@ func (s *Suite) Fig4() ([]Table, error) {
 
 // Fig5 reproduces the harmful-migration percentages.
 func (s *Suite) Fig5() (Table, error) {
+	schemes := []migration.Kind{migration.Nomad, migration.Memtis}
+	var reqs []RunRequest
+	for _, wl := range s.opt.Workloads {
+		for _, k := range schemes {
+			reqs = append(reqs, s.req(s.opt.Cfg, wl, k))
+		}
+	}
+	if err := s.prefetch(reqs); err != nil {
+		return Table{}, err
+	}
 	t := Table{
 		Title:     "Figure 5: percentage of harmful page migrations",
 		Cols:      []string{"nomad", "memtis"},
@@ -147,8 +200,8 @@ func (s *Suite) Fig5() (Table, error) {
 	}
 	for _, wl := range s.opt.Workloads {
 		row := make([]float64, 2)
-		for i, k := range []migration.Kind{migration.Nomad, migration.Memtis} {
-			res, err := s.sw.get(wl, k)
+		for i, k := range schemes {
+			res, err := s.get(s.opt.Cfg, wl, k)
 			if err != nil {
 				return Table{}, err
 			}
@@ -162,6 +215,16 @@ func (s *Suite) Fig5() (Table, error) {
 
 // Fig10 reproduces the end-to-end comparison: speedup over Native.
 func (s *Suite) Fig10() (Table, error) {
+	var reqs []RunRequest
+	for _, wl := range s.opt.Workloads {
+		reqs = append(reqs, s.req(s.opt.Cfg, wl, migration.Native))
+		for _, k := range fig10Schemes {
+			reqs = append(reqs, s.req(s.opt.Cfg, wl, k))
+		}
+	}
+	if err := s.prefetch(reqs); err != nil {
+		return Table{}, err
+	}
 	t := Table{
 		Title:     "Figure 10: end-to-end speedup over Native CXL-DSM (higher is better)",
 		MeanLabel: "mean",
@@ -170,13 +233,13 @@ func (s *Suite) Fig10() (Table, error) {
 		t.Cols = append(t.Cols, k.String())
 	}
 	for _, wl := range s.opt.Workloads {
-		nat, err := s.sw.get(wl, migration.Native)
+		nat, err := s.get(s.opt.Cfg, wl, migration.Native)
 		if err != nil {
 			return Table{}, err
 		}
 		row := make([]float64, len(fig10Schemes))
 		for i, k := range fig10Schemes {
-			res, err := s.sw.get(wl, k)
+			res, err := s.get(s.opt.Cfg, wl, k)
 			if err != nil {
 				return Table{}, err
 			}
@@ -207,6 +270,16 @@ func (s *Suite) Fig13() (Table, error) {
 		migration.Nomad, migration.Memtis, migration.HeMem,
 		migration.OSSkew, migration.HWStatic,
 	}
+	var reqs []RunRequest
+	for _, wl := range s.opt.Workloads {
+		for _, k := range schemes {
+			reqs = append(reqs, s.req(s.opt.Cfg, wl, k))
+		}
+		reqs = append(reqs, s.req(s.opt.Cfg, wl, migration.PIPM))
+	}
+	if err := s.prefetch(reqs); err != nil {
+		return Table{}, err
+	}
 	t := Table{
 		Title:     "Figure 13: avg per-host local footprint / total shared footprint (%)",
 		Fmt:       "%.1f",
@@ -219,13 +292,13 @@ func (s *Suite) Fig13() (Table, error) {
 	for _, wl := range s.opt.Workloads {
 		var row []float64
 		for _, k := range schemes {
-			res, err := s.sw.get(wl, k)
+			res, err := s.get(s.opt.Cfg, wl, k)
 			if err != nil {
 				return Table{}, err
 			}
 			row = append(row, 100*res.PageFootprintFrac)
 		}
-		pipm, err := s.sw.get(wl, migration.PIPM)
+		pipm, err := s.get(s.opt.Cfg, wl, migration.PIPM)
 		if err != nil {
 			return Table{}, err
 		}
@@ -237,15 +310,24 @@ func (s *Suite) Fig13() (Table, error) {
 }
 
 func (s *Suite) metricTable(title, cellFmt string, metric func(Result) float64) (Table, error) {
-	t := Table{Title: title, Fmt: cellFmt, MeanLabel: "mean"}
 	schemes := fig10Schemes[:len(fig10Schemes)-1] // drop local-only
+	var reqs []RunRequest
+	for _, wl := range s.opt.Workloads {
+		for _, k := range schemes {
+			reqs = append(reqs, s.req(s.opt.Cfg, wl, k))
+		}
+	}
+	if err := s.prefetch(reqs); err != nil {
+		return Table{}, err
+	}
+	t := Table{Title: title, Fmt: cellFmt, MeanLabel: "mean"}
 	for _, k := range schemes {
 		t.Cols = append(t.Cols, k.String())
 	}
 	for _, wl := range s.opt.Workloads {
 		row := make([]float64, len(schemes))
 		for i, k := range schemes {
-			res, err := s.sw.get(wl, k)
+			res, err := s.get(s.opt.Cfg, wl, k)
 			if err != nil {
 				return Table{}, err
 			}
@@ -284,7 +366,27 @@ type sweepPoint struct {
 	apply func(*config.Config)
 }
 
+// paramSweep runs Native and PIPM at each configuration point. A point that
+// matches the base configuration (Fig 14's 50 ns, Fig 15's ×16) hashes to
+// the same run key as the shared sweep, so its baselines come from the memo.
 func (s *Suite) paramSweep(title string, points []sweepPoint) (Table, error) {
+	pointCfg := func(p sweepPoint) config.Config {
+		cfg := s.opt.Cfg
+		p.apply(&cfg)
+		return cfg
+	}
+	var reqs []RunRequest
+	for _, wl := range s.opt.Workloads {
+		for _, p := range points {
+			cfg := pointCfg(p)
+			reqs = append(reqs,
+				s.req(cfg, wl, migration.Native),
+				s.req(cfg, wl, migration.PIPM))
+		}
+	}
+	if err := s.prefetch(reqs); err != nil {
+		return Table{}, err
+	}
 	t := Table{Title: title, MeanLabel: "mean"}
 	for _, p := range points {
 		t.Cols = append(t.Cols, p.label)
@@ -292,13 +394,12 @@ func (s *Suite) paramSweep(title string, points []sweepPoint) (Table, error) {
 	for _, wl := range s.opt.Workloads {
 		row := make([]float64, len(points))
 		for i, p := range points {
-			cfg := s.opt.Cfg
-			p.apply(&cfg)
-			nat, err := RunOne(cfg, wl, migration.Native, s.opt.RecordsPerCore, s.opt.Seed)
+			cfg := pointCfg(p)
+			nat, err := s.get(cfg, wl, migration.Native)
 			if err != nil {
 				return Table{}, err
 			}
-			pipm, err := RunOne(cfg, wl, migration.PIPM, s.opt.RecordsPerCore, s.opt.Seed)
+			pipm, err := s.get(cfg, wl, migration.PIPM)
 			if err != nil {
 				return Table{}, err
 			}
@@ -317,44 +418,16 @@ func (s *Suite) Fig16() (Table, error) {
 	// covers 256K pages against a ~12M-page footprint; the same coverage
 	// ratios at our page count give the sizes below (labels map to the
 	// paper's x-axis points).
-	sizes := []struct {
-		label string
-		bytes int
-	}{
+	sizes := []cacheSize{
 		{"64KB(scaled)", 1 << 10},
 		{"256KB(scaled)", 4 << 10},
 		{"1MB(scaled)", 8 << 10},
 		{"4MB(scaled)", 16 << 10},
 	}
-	t := Table{
-		Title:     "Figure 16: PIPM performance vs local remapping cache size (normalized to infinite)",
-		Fmt:       "%.3f",
-		MeanLabel: "mean",
-	}
-	for _, sz := range sizes {
-		t.Cols = append(t.Cols, sz.label)
-	}
-	for _, wl := range s.opt.Workloads {
-		inf := s.opt.Cfg
-		inf.PIPM.LocalRemapCacheBytes = -1
-		ideal, err := RunOne(inf, wl, migration.PIPM, s.opt.RecordsPerCore, s.opt.Seed)
-		if err != nil {
-			return Table{}, err
-		}
-		row := make([]float64, len(sizes))
-		for i, sz := range sizes {
-			cfg := s.opt.Cfg
-			cfg.PIPM.LocalRemapCacheBytes = sz.bytes
-			res, err := RunOne(cfg, wl, migration.PIPM, s.opt.RecordsPerCore, s.opt.Seed)
-			if err != nil {
-				return Table{}, err
-			}
-			row[i] = float64(ideal.ExecTime) / float64(res.ExecTime)
-		}
-		t.Rows = append(t.Rows, wl.Name)
-		t.Cells = append(t.Cells, row)
-	}
-	return t, nil
+	return s.cacheSweep(
+		"Figure 16: PIPM performance vs local remapping cache size (normalized to infinite)",
+		func(c *config.Config, bytes int) { c.PIPM.LocalRemapCacheBytes = bytes },
+		sizes)
 }
 
 // Fig17 reproduces the global remapping cache size sensitivity, normalized
@@ -362,35 +435,53 @@ func (s *Suite) Fig16() (Table, error) {
 func (s *Suite) Fig17() (Table, error) {
 	// Scaled like Fig. 16: the paper's 16 KB global cache (8K entries)
 	// against a ~32M-page pool maps to sub-page-count sizes here.
-	sizes := []struct {
-		label string
-		bytes int
-	}{
+	sizes := []cacheSize{
 		{"1KB(scaled)", 512},
 		{"4KB(scaled)", 1 << 10},
 		{"16KB(scaled)", 4 << 10},
 		{"64KB(scaled)", 8 << 10},
 	}
-	t := Table{
-		Title:     "Figure 17: PIPM performance vs global remapping cache size (normalized to infinite)",
-		Fmt:       "%.3f",
-		MeanLabel: "mean",
+	return s.cacheSweep(
+		"Figure 17: PIPM performance vs global remapping cache size (normalized to infinite)",
+		func(c *config.Config, bytes int) { c.PIPM.GlobalRemapCacheBytes = bytes },
+		sizes)
+}
+
+type cacheSize struct {
+	label string
+	bytes int
+}
+
+// cacheSweep is the shared body of Figures 16–17: PIPM at each cache size,
+// normalized to an infinite (-1) cache, all through the engine.
+func (s *Suite) cacheSweep(title string, set func(*config.Config, int), sizes []cacheSize) (Table, error) {
+	sizeCfg := func(bytes int) config.Config {
+		cfg := s.opt.Cfg
+		set(&cfg, bytes)
+		return cfg
 	}
+	var reqs []RunRequest
+	for _, wl := range s.opt.Workloads {
+		reqs = append(reqs, s.req(sizeCfg(-1), wl, migration.PIPM))
+		for _, sz := range sizes {
+			reqs = append(reqs, s.req(sizeCfg(sz.bytes), wl, migration.PIPM))
+		}
+	}
+	if err := s.prefetch(reqs); err != nil {
+		return Table{}, err
+	}
+	t := Table{Title: title, Fmt: "%.3f", MeanLabel: "mean"}
 	for _, sz := range sizes {
 		t.Cols = append(t.Cols, sz.label)
 	}
 	for _, wl := range s.opt.Workloads {
-		inf := s.opt.Cfg
-		inf.PIPM.GlobalRemapCacheBytes = -1
-		ideal, err := RunOne(inf, wl, migration.PIPM, s.opt.RecordsPerCore, s.opt.Seed)
+		ideal, err := s.get(sizeCfg(-1), wl, migration.PIPM)
 		if err != nil {
 			return Table{}, err
 		}
 		row := make([]float64, len(sizes))
 		for i, sz := range sizes {
-			cfg := s.opt.Cfg
-			cfg.PIPM.GlobalRemapCacheBytes = sz.bytes
-			res, err := RunOne(cfg, wl, migration.PIPM, s.opt.RecordsPerCore, s.opt.Seed)
+			res, err := s.get(sizeCfg(sz.bytes), wl, migration.PIPM)
 			if err != nil {
 				return Table{}, err
 			}

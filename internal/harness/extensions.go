@@ -3,7 +3,9 @@ package harness
 import (
 	"fmt"
 
+	"pipm/internal/config"
 	"pipm/internal/migration"
+	"pipm/internal/workload"
 )
 
 // The experiments below go beyond the paper's printed figures and cover the
@@ -19,6 +21,22 @@ func (s *Suite) Scalability(hostCounts []int) (Table, error) {
 	if len(hostCounts) == 0 {
 		hostCounts = []int{2, 4, 8}
 	}
+	hostCfg := func(hosts int) config.Config {
+		cfg := s.opt.Cfg
+		cfg.Hosts = hosts
+		return cfg
+	}
+	var reqs []RunRequest
+	for _, wl := range s.opt.Workloads {
+		for _, hosts := range hostCounts {
+			reqs = append(reqs,
+				s.req(hostCfg(hosts), wl, migration.Native),
+				s.req(hostCfg(hosts), wl, migration.PIPM))
+		}
+	}
+	if err := s.prefetch(reqs); err != nil {
+		return Table{}, err
+	}
 	t := Table{
 		Title:     "Scalability (§4.5): PIPM speedup over Native vs host count",
 		MeanLabel: "mean",
@@ -29,13 +47,11 @@ func (s *Suite) Scalability(hostCounts []int) (Table, error) {
 	for _, wl := range s.opt.Workloads {
 		row := make([]float64, len(hostCounts))
 		for i, hosts := range hostCounts {
-			cfg := s.opt.Cfg
-			cfg.Hosts = hosts
-			nat, err := RunOne(cfg, wl, migration.Native, s.opt.RecordsPerCore, s.opt.Seed)
+			nat, err := s.get(hostCfg(hosts), wl, migration.Native)
 			if err != nil {
 				return Table{}, err
 			}
-			res, err := RunOne(cfg, wl, migration.PIPM, s.opt.RecordsPerCore, s.opt.Seed)
+			res, err := s.get(hostCfg(hosts), wl, migration.PIPM)
 			if err != nil {
 				return Table{}, err
 			}
@@ -51,23 +67,41 @@ func (s *Suite) Scalability(hostCounts []int) (Table, error) {
 // through the trace each host's partition affinity shifts to the next host, so
 // yesterday's perfect placement is today's remote data. PIPM's vote plus
 // revocation tracks the shift; HW-static's fixed mapping cannot — the
-// dynamic-remapping argument of §3.3 made quantitative.
+// dynamic-remapping argument of §3.3 made quantitative. The rotated Params
+// differ from the catalog entry only in RotateEvery, which the run key
+// captures, so these runs never alias the fixed-affinity sweep.
 func (s *Suite) Adaptivity() (Table, error) {
+	rotated := func(wl workload.Params) workload.Params {
+		rot := wl
+		rot.RotateEvery = s.opt.RecordsPerCore / 2 // two phases per run
+		return rot
+	}
+	schemes := []migration.Kind{migration.HWStatic, migration.PIPM}
+	var reqs []RunRequest
+	for _, wl := range s.opt.Workloads {
+		rot := rotated(wl)
+		reqs = append(reqs, s.req(s.opt.Cfg, rot, migration.Native))
+		for _, k := range schemes {
+			reqs = append(reqs, s.req(s.opt.Cfg, rot, k))
+		}
+	}
+	if err := s.prefetch(reqs); err != nil {
+		return Table{}, err
+	}
 	t := Table{
 		Title:     "Adaptivity: speedup over Native with rotating partition affinity",
 		MeanLabel: "mean",
 		Cols:      []string{"hw-static", "pipm"},
 	}
 	for _, wl := range s.opt.Workloads {
-		rot := wl
-		rot.RotateEvery = s.opt.RecordsPerCore / 2 // two phases per run
-		nat, err := RunOne(s.opt.Cfg, rot, migration.Native, s.opt.RecordsPerCore, s.opt.Seed)
+		rot := rotated(wl)
+		nat, err := s.get(s.opt.Cfg, rot, migration.Native)
 		if err != nil {
 			return Table{}, err
 		}
 		row := make([]float64, 2)
-		for i, k := range []migration.Kind{migration.HWStatic, migration.PIPM} {
-			res, err := RunOne(s.opt.Cfg, rot, k, s.opt.RecordsPerCore, s.opt.Seed)
+		for i, k := range schemes {
+			res, err := s.get(s.opt.Cfg, rot, k)
 			if err != nil {
 				return Table{}, err
 			}
@@ -80,10 +114,27 @@ func (s *Suite) Adaptivity() (Table, error) {
 }
 
 // ThresholdSensitivity sweeps the majority-vote promotion threshold and
-// reports PIPM's speedup over Native — the §5.1.4 robustness claim.
+// reports PIPM's speedup over Native — the §5.1.4 robustness claim. The
+// point matching the base configuration's threshold shares its run with the
+// Fig 10–13 sweep through the memo.
 func (s *Suite) ThresholdSensitivity(thresholds []int) (Table, error) {
 	if len(thresholds) == 0 {
 		thresholds = []int{2, 4, 8, 16, 32}
+	}
+	thCfg := func(th int) config.Config {
+		cfg := s.opt.Cfg
+		cfg.PIPM.MigrationThreshold = th
+		return cfg
+	}
+	var reqs []RunRequest
+	for _, wl := range s.opt.Workloads {
+		reqs = append(reqs, s.req(s.opt.Cfg, wl, migration.Native))
+		for _, th := range thresholds {
+			reqs = append(reqs, s.req(thCfg(th), wl, migration.PIPM))
+		}
+	}
+	if err := s.prefetch(reqs); err != nil {
+		return Table{}, err
 	}
 	t := Table{
 		Title:     "Threshold sensitivity (§5.1.4): PIPM speedup over Native vs vote threshold",
@@ -93,15 +144,13 @@ func (s *Suite) ThresholdSensitivity(thresholds []int) (Table, error) {
 		t.Cols = append(t.Cols, fmt.Sprintf("th=%d", th))
 	}
 	for _, wl := range s.opt.Workloads {
-		nat, err := s.sw.get(wl, migration.Native)
+		nat, err := s.get(s.opt.Cfg, wl, migration.Native)
 		if err != nil {
 			return Table{}, err
 		}
 		row := make([]float64, len(thresholds))
 		for i, th := range thresholds {
-			cfg := s.opt.Cfg
-			cfg.PIPM.MigrationThreshold = th
-			res, err := RunOne(cfg, wl, migration.PIPM, s.opt.RecordsPerCore, s.opt.Seed)
+			res, err := s.get(thCfg(th), wl, migration.PIPM)
 			if err != nil {
 				return Table{}, err
 			}

@@ -57,21 +57,31 @@ func TestSpeedup(t *testing.T) {
 	}
 }
 
-func TestSweepMemoizes(t *testing.T) {
+func TestEngineMemoizes(t *testing.T) {
 	o := QuickOptions()
 	o.RecordsPerCore = 5_000
-	sw := newSweep(o)
+	s := NewSuite(o)
 	wl := o.Workloads[0]
-	r1, err := sw.get(wl, migration.Native)
+	r1, err := s.get(o.Cfg, wl, migration.Native)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := sw.get(wl, migration.Native)
+	r2, err := s.get(o.Cfg, wl, migration.Native)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r1 != r2 {
 		t.Fatal("memoized results differ")
+	}
+	st := s.RunStats()
+	if len(st) != 1 {
+		t.Fatalf("expected 1 executed run, got %d", len(st))
+	}
+	if st[0].MemoHits != 1 {
+		t.Fatalf("MemoHits = %d, want 1", st[0].MemoHits)
+	}
+	if st[0].Instructions <= 0 || st[0].SimPS <= 0 {
+		t.Fatalf("stats missing throughput data: %+v", st[0])
 	}
 }
 

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"reflect"
+
+	"pipm/internal/config"
+	"pipm/internal/migration"
+	"pipm/internal/workload"
+)
+
+// RunKey canonically identifies one simulation: a digest of the full
+// config.Config, the complete workload.Params, the scheme, the per-core
+// record budget and the seed. Two runs with equal keys produce bit-identical
+// Results (RunOne is deterministic), so the engine memoizes and deduplicates
+// by key — unlike the old name-only memo, a modified Params under a reused
+// name can never alias a stale result.
+type RunKey [sha256.Size]byte
+
+// String returns the key as hex, for logs and the -json emitter.
+func (k RunKey) String() string { return hex.EncodeToString(k[:]) }
+
+// Short returns the first 12 hex digits, enough to eyeball in progress lines.
+func (k RunKey) Short() string { return hex.EncodeToString(k[:6]) }
+
+// KeyOf computes the canonical run key. The encoding walks every exported
+// field of cfg and wl reflectively (names + values, depth-first), so a field
+// added to either struct in a future PR automatically changes the key space
+// instead of silently aliasing old entries.
+func KeyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64) RunKey {
+	h := sha256.New()
+	enc := canonEncoder{h: h}
+	enc.value("cfg", reflect.ValueOf(cfg))
+	enc.value("workload", reflect.ValueOf(wl))
+	enc.int64("scheme", int64(k))
+	enc.int64("records", records)
+	enc.int64("seed", seed)
+	var key RunKey
+	h.Sum(key[:0])
+	return key
+}
+
+// canonEncoder writes a canonical, self-delimiting byte stream into a hash.
+// Every value is prefixed with its label so that field reordering or renaming
+// also changes the key.
+type canonEncoder struct {
+	h hash.Hash
+}
+
+func (e canonEncoder) bytes(b []byte) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(b)))
+	e.h.Write(n[:])
+	e.h.Write(b)
+}
+
+func (e canonEncoder) int64(label string, v int64) {
+	e.bytes([]byte(label))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	e.h.Write(b[:])
+}
+
+func (e canonEncoder) value(label string, v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Struct:
+		e.bytes([]byte(label))
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if t.Field(i).PkgPath != "" {
+				continue // unexported: not part of the run identity
+			}
+			e.value(t.Field(i).Name, v.Field(i))
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		e.int64(label, v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		e.int64(label, int64(v.Uint()))
+	case reflect.Float32, reflect.Float64:
+		e.int64(label, int64(math.Float64bits(v.Float())))
+	case reflect.Bool:
+		b := int64(0)
+		if v.Bool() {
+			b = 1
+		}
+		e.int64(label, b)
+	case reflect.String:
+		e.bytes([]byte(label))
+		e.bytes([]byte(v.String()))
+	case reflect.Slice, reflect.Array:
+		e.bytes([]byte(label))
+		e.int64("len", int64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			e.value("elem", v.Index(i))
+		}
+	default:
+		// Maps, pointers, channels, funcs and interfaces have no canonical
+		// encoding; a config or workload field of such a kind must extend
+		// this encoder before it can join the run identity.
+		panic(fmt.Sprintf("harness: run key cannot encode %s field %q", v.Kind(), label))
+	}
+}

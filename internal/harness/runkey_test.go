@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"pipm/internal/migration"
+	"pipm/internal/sim"
+	"pipm/internal/workload"
+)
+
+func TestRunKeyStableForEqualInputs(t *testing.T) {
+	o := QuickOptions()
+	wl := o.Workloads[0]
+	k1 := KeyOf(o.Cfg, wl, migration.PIPM, 1000, 1)
+	k2 := KeyOf(o.Cfg, wl, migration.PIPM, 1000, 1)
+	if k1 != k2 {
+		t.Fatal("equal inputs produced different keys")
+	}
+	if k1.String() == "" || k1.Short() == "" || len(k1.String()) != 64 {
+		t.Fatalf("bad key rendering: %q / %q", k1.String(), k1.Short())
+	}
+}
+
+func TestRunKeySensitiveToEveryComponent(t *testing.T) {
+	o := QuickOptions()
+	wl := o.Workloads[0]
+	base := KeyOf(o.Cfg, wl, migration.PIPM, 1000, 1)
+
+	// Scheme, records, seed.
+	if KeyOf(o.Cfg, wl, migration.Native, 1000, 1) == base {
+		t.Error("scheme change did not change the key")
+	}
+	if KeyOf(o.Cfg, wl, migration.PIPM, 2000, 1) == base {
+		t.Error("records change did not change the key")
+	}
+	if KeyOf(o.Cfg, wl, migration.PIPM, 1000, 2) == base {
+		t.Error("seed change did not change the key")
+	}
+
+	// Arbitrary config fields, including nested ones.
+	cfg := o.Cfg
+	cfg.Kernel.Interval += sim.Microsecond
+	if KeyOf(cfg, wl, migration.PIPM, 1000, 1) == base {
+		t.Error("Kernel.Interval change did not change the key")
+	}
+	cfg = o.Cfg
+	cfg.PIPM.MigrationThreshold++
+	if KeyOf(cfg, wl, migration.PIPM, 1000, 1) == base {
+		t.Error("MigrationThreshold change did not change the key")
+	}
+	cfg = o.Cfg
+	cfg.CXL.LinkBW *= 2
+	if KeyOf(cfg, wl, migration.PIPM, 1000, 1) == base {
+		t.Error("CXL.LinkBW change did not change the key")
+	}
+
+	// Workload params under the same name — the bug the old name-keyed
+	// memo had.
+	hot := wl
+	hot.ZipfS = wl.ZipfS + 1.5
+	if KeyOf(o.Cfg, hot, migration.PIPM, 1000, 1) == base {
+		t.Error("ZipfS change under the same workload name did not change the key")
+	}
+	rot := wl
+	rot.RotateEvery = 500
+	if KeyOf(o.Cfg, rot, migration.PIPM, 1000, 1) == base {
+		t.Error("RotateEvery change under the same workload name did not change the key")
+	}
+}
+
+func TestRunKeyRejectsUnencodableKinds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for a map-typed value")
+		}
+	}()
+	enc := canonEncoder{h: discardHash{}}
+	enc.value("bad", reflect.ValueOf(map[string]int{"a": 1}))
+}
+
+// discardHash satisfies hash.Hash for the panic-path test.
+type discardHash struct{}
+
+func (discardHash) Write(p []byte) (int, error) { return len(p), nil }
+func (discardHash) Sum(b []byte) []byte         { return b }
+func (discardHash) Reset()                      {}
+func (discardHash) Size() int                   { return 0 }
+func (discardHash) BlockSize() int              { return 1 }
+
+// TestSameNameDifferentZipfS is the regression test for the old name-only
+// memo: two workloads sharing a Name but differing in ZipfS must execute as
+// two distinct runs and produce different results.
+func TestSameNameDifferentZipfS(t *testing.T) {
+	o := QuickOptions()
+	o.RecordsPerCore = 5_000
+	s := NewSuite(o)
+	wl := o.Workloads[0]
+	hot := wl
+	hot.ZipfS = wl.ZipfS + 1.5
+
+	r1, err := s.get(o.Cfg, wl, migration.Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.get(o.Cfg, hot, migration.Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.RunStats()); got != 2 {
+		t.Fatalf("expected 2 executed runs for same-name workloads, got %d", got)
+	}
+	if r1.ExecTime == r2.ExecTime {
+		t.Fatalf("same-name workloads with different ZipfS returned identical exec time %v", r1.ExecTime)
+	}
+}
+
+func TestRunRequestKeyMatchesKeyOf(t *testing.T) {
+	o := QuickOptions()
+	wl, err := workload.ByName("ycsb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := RunRequest{Cfg: o.Cfg, WL: wl, Scheme: migration.PIPM, Records: 123, Seed: 7}
+	if req.Key() != KeyOf(o.Cfg, wl, migration.PIPM, 123, 7) {
+		t.Fatal("RunRequest.Key disagrees with KeyOf")
+	}
+}

@@ -12,7 +12,7 @@
 package harness
 
 import (
-	"fmt"
+	"io"
 
 	"pipm/internal/config"
 	"pipm/internal/machine"
@@ -28,6 +28,14 @@ type Options struct {
 	Workloads      []workload.Params // defaults to the full Table 1 catalog
 	RecordsPerCore int64
 	Seed           int64
+
+	// Workers bounds how many simulations the suite's run-graph engine
+	// executes concurrently; ≤ 0 means GOMAXPROCS. Rendered artefacts are
+	// byte-identical for any worker count.
+	Workers int
+	// Progress, when non-nil, receives one line per completed simulation
+	// with wall/sim time, throughput and an ETA for the queued remainder.
+	Progress io.Writer
 }
 
 // DefaultOptions returns the scaled-down sweep configuration: Table 2
@@ -80,8 +88,9 @@ type Result struct {
 	Workload string
 	Scheme   migration.Kind
 
-	ExecTime sim.Time
-	IPC      float64
+	ExecTime     sim.Time
+	IPC          float64
+	Instructions int64 // total simulated instructions across all cores
 
 	LocalHitRate   float64
 	InterStallFrac float64
@@ -125,6 +134,7 @@ func RunOne(cfg config.Config, wl workload.Params, k migration.Kind, records, se
 		Scheme:            k,
 		ExecTime:          m.ExecTime(),
 		IPC:               m.IPC(),
+		Instructions:      col.Instructions(),
 		LocalHitRate:      col.LocalHitRate(),
 		InterStallFrac:    col.StallFraction(stats.ClassInterHost),
 		MgmtStallFrac:     col.MgmtFraction(),
@@ -139,7 +149,17 @@ func RunOne(cfg config.Config, wl workload.Params, k migration.Kind, records, se
 	}
 	if mgr := m.Manager(); mgr != nil {
 		r.GlobalRemapHitRate = mgr.GlobalCache().HitRate()
-		r.LocalRemapHitRate = mgr.LocalCache(0).HitRate()
+		// Aggregate the local remap-cache hit rate over every host's cache
+		// (total hits / total lookups), not just host 0's.
+		var hits, lookups uint64
+		for h := 0; h < cfg.Hosts; h++ {
+			lc := mgr.LocalCache(h)
+			hits += lc.Hits()
+			lookups += lc.Hits() + lc.Misses()
+		}
+		if lookups > 0 {
+			r.LocalRemapHitRate = float64(hits) / float64(lookups)
+		}
 	}
 	return r, nil
 }
@@ -150,31 +170,4 @@ func Speedup(r, base Result) float64 {
 		return 0
 	}
 	return float64(base.ExecTime) / float64(r.ExecTime)
-}
-
-// sweep runs every workload under every scheme, memoizing results.
-type sweep struct {
-	opt     Options
-	results map[string]map[migration.Kind]Result
-}
-
-func newSweep(opt Options) *sweep {
-	return &sweep{opt: opt, results: map[string]map[migration.Kind]Result{}}
-}
-
-func (s *sweep) get(wl workload.Params, k migration.Kind) (Result, error) {
-	if byScheme, ok := s.results[wl.Name]; ok {
-		if r, ok := byScheme[k]; ok {
-			return r, nil
-		}
-	}
-	r, err := RunOne(s.opt.Cfg, wl, k, s.opt.RecordsPerCore, s.opt.Seed)
-	if err != nil {
-		return Result{}, fmt.Errorf("harness: %s/%v: %w", wl.Name, k, err)
-	}
-	if s.results[wl.Name] == nil {
-		s.results[wl.Name] = map[migration.Kind]Result{}
-	}
-	s.results[wl.Name][k] = r
-	return r, nil
 }

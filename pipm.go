@@ -97,11 +97,27 @@ func Run(cfg Config, wl Workload, s Scheme, records, seed int64) (Result, error)
 func Speedup(r, base Result) float64 { return harness.Speedup(r, base) }
 
 // Suite runs the paper's experiments (Figures 4–5 and 10–17) over one
-// option set, sharing simulation runs between figures.
+// option set. Every simulation flows through a run-graph engine that
+// deduplicates runs by canonical key (RunKeyOf) and executes them on a
+// worker pool bounded by SuiteOptions.Workers; rendered artefacts are
+// byte-identical for any worker count.
 type Suite = harness.Suite
 
-// SuiteOptions configures an experiment sweep.
+// SuiteOptions configures an experiment sweep, including the engine's
+// Workers bound and optional Progress writer.
 type SuiteOptions = harness.Options
+
+// RunStats is the engine's observability record for one executed
+// simulation: wall-clock, simulated time, instruction throughput and memo
+// hits. Suite.RunStats returns one per deduplicated run.
+type RunStats = harness.RunStats
+
+// RunKeyOf returns the canonical run key (hex) identifying one simulation:
+// a digest of the full configuration, complete workload parameters, scheme,
+// per-core record budget and seed. Equal keys ⇒ bit-identical results.
+func RunKeyOf(cfg Config, wl Workload, s Scheme, records, seed int64) string {
+	return harness.KeyOf(cfg, wl, s, records, seed).String()
+}
 
 // Table is a rendered experiment artefact.
 type Table = harness.Table
