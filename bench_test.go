@@ -252,6 +252,42 @@ func BenchmarkAblationVoteVsStatic(b *testing.B) {
 	}
 }
 
+// --- Telemetry overhead (DESIGN.md §10) ---
+
+func BenchmarkTelemetryDisabledOverhead(b *testing.B) {
+	// The disabled-telemetry pin: this is the exact hot path every run
+	// executes, with nil instrument handles. Compare against
+	// BenchmarkTelemetryEnabled (and historical BENCH_*.json) to confirm the
+	// nil-check fast path stays within the §10 ≤2% budget.
+	o := benchOptions()
+	wl, _ := pipm.WorkloadByName("pr")
+	for i := 0; i < b.N; i++ {
+		res, err := pipm.Run(o.Cfg, wl, pipm.Nomad, o.RecordsPerCore, o.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Instructions)/b.Elapsed().Seconds()/float64(b.N), "instr/s")
+	}
+}
+
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	// Same run with sampling and tracing on — the cost ceiling for -timeseries
+	// -trace sweeps.
+	o := benchOptions()
+	wl, _ := pipm.WorkloadByName("pr")
+	topt := pipm.TelemetryOptions{SampleInterval: 10 * pipm.Microsecond, Trace: true}
+	for i := 0; i < b.N; i++ {
+		res, tout, err := pipm.RunWithTelemetry(o.Cfg, wl, pipm.Nomad, o.RecordsPerCore, o.Seed, topt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tout == nil || tout.Series == nil || len(tout.Series.Samples) == 0 {
+			b.Fatal("enabled telemetry collected nothing")
+		}
+		b.ReportMetric(float64(res.Instructions)/b.Elapsed().Seconds()/float64(b.N), "instr/s")
+	}
+}
+
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	// Raw simulation speed: records simulated per second of wall time.
 	o := benchOptions()

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
@@ -45,8 +47,18 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "max simulations in flight (0 = GOMAXPROCS)")
 		progress  = flag.Bool("progress", false, "emit per-run progress/ETA lines on stderr")
 		jsonPath  = flag.String("json", "", "write per-run timing records (BENCH_*.json) to this file")
+		tsPath    = flag.String("timeseries", "", "write per-run interval time-series to this file (JSON, or CSV if the path ends in .csv)")
+		trPath    = flag.String("trace", "", "write per-run protocol event traces to this file (Chrome trace-event JSON, loadable in ui.perfetto.dev)")
+		sampleInt = flag.Duration("sample-interval", 10*time.Microsecond, "time-series sampling interval in simulated time (with -timeseries)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "experiments: pprof:", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	// Reject unknown artefact names before the first simulation runs: a typo
 	// in a comma list must fail immediately, not after minutes of sweeps.
@@ -76,6 +88,17 @@ func main() {
 	if *progress {
 		opt.Progress = os.Stderr
 	}
+	// Telemetry stays disabled — and every run key unchanged — unless an
+	// output flag asks for it.
+	if *tsPath != "" {
+		if *sampleInt <= 0 {
+			fatal(fmt.Errorf("-sample-interval must be positive, got %v", *sampleInt))
+		}
+		opt.Telemetry.SampleInterval = pipm.Time(sampleInt.Nanoseconds()) * pipm.Nanosecond
+	}
+	if *trPath != "" {
+		opt.Telemetry.Trace = true
+	}
 	suite := pipm.NewSuite(opt)
 
 	// Build every requested artefact concurrently — the engine's memo and
@@ -95,21 +118,59 @@ func main() {
 		}(arts[i])
 	}
 	wg.Wait()
+	var failed *artefact
 	for _, a := range arts {
 		if a.err != nil {
-			fatal(fmt.Errorf("%s: %w", a.id, a.err))
+			failed = a
+			break
 		}
 		os.Stdout.Write(a.out.Bytes())
 		fmt.Println()
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", a.id, a.wall.Round(time.Millisecond))
 	}
 
+	// Even when an artefact failed, the runs that did complete are real
+	// measurements: write the bench report (marked partial) and any requested
+	// telemetry before exiting nonzero, so a long sweep's data survives one
+	// broken figure builder.
 	if *jsonPath != "" {
-		if err := writeBench(*jsonPath, suite, opt, arts, time.Since(wallStart), *parallel, *quick); err != nil {
+		if err := writeBench(*jsonPath, suite, opt, arts, time.Since(wallStart), *parallel, *quick, failed != nil); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "[bench report written to %s]\n", *jsonPath)
 	}
+	if *tsPath != "" {
+		write := suite.WriteTimeSeries
+		if strings.HasSuffix(*tsPath, ".csv") {
+			write = suite.WriteTimeSeriesCSV
+		}
+		if err := writeTo(*tsPath, write); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[time-series written to %s]\n", *tsPath)
+	}
+	if *trPath != "" {
+		if err := writeTo(*trPath, suite.WriteTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[trace written to %s]\n", *trPath)
+	}
+	if failed != nil {
+		fatal(fmt.Errorf("%s: %w", failed.id, failed.err))
+	}
+}
+
+// writeTo streams one export into a freshly-created file.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // artefact is one requested experiment: its id, buffered stdout content,
@@ -152,7 +213,11 @@ func selectArtefacts(exps string) ([]string, error) {
 // benchReport is the -json schema: enough to track the perf trajectory of
 // the experiment engine across PRs (BENCH_*.json).
 type benchReport struct {
-	Schema         string           `json:"schema"`
+	Schema string `json:"schema"`
+	// Partial marks a report written after a figure builder failed: the
+	// recorded runs are valid measurements, but the artefact set — and
+	// therefore the run set — is incomplete.
+	Partial        bool             `json:"partial,omitempty"`
 	Quick          bool             `json:"quick"`
 	Parallel       int              `json:"parallel"`
 	GOMAXPROCS     int              `json:"gomaxprocs"`
@@ -170,12 +235,14 @@ type benchReport struct {
 type artefactTiming struct {
 	ID     string  `json:"id"`
 	WallMS float64 `json:"wall_ms"`
+	Error  string  `json:"error,omitempty"`
 }
 
 func writeBench(path string, s *pipm.Suite, opt pipm.SuiteOptions,
-	arts []*artefact, total time.Duration, parallel int, quick bool) error {
+	arts []*artefact, total time.Duration, parallel int, quick, partial bool) error {
 	rep := benchReport{
 		Schema:         "pipm-bench/v1",
+		Partial:        partial,
 		Quick:          quick,
 		Parallel:       parallel,
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
@@ -188,8 +255,11 @@ func writeBench(path string, s *pipm.Suite, opt pipm.SuiteOptions,
 		rep.Workloads = append(rep.Workloads, wl.Name)
 	}
 	for _, a := range arts {
-		rep.Artefacts = append(rep.Artefacts,
-			artefactTiming{ID: a.id, WallMS: float64(a.wall) / float64(time.Millisecond)})
+		t := artefactTiming{ID: a.id, WallMS: float64(a.wall) / float64(time.Millisecond)}
+		if a.err != nil {
+			t.Error = a.err.Error()
+		}
+		rep.Artefacts = append(rep.Artefacts, t)
 	}
 	rep.UniqueRuns = len(rep.Runs)
 	for _, r := range rep.Runs {

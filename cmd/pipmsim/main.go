@@ -11,12 +11,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"pipm"
 	"pipm/internal/stats"
+	"pipm/internal/telemetry"
 	"pipm/internal/trace"
 )
 
@@ -31,8 +36,19 @@ func main() {
 		shared   = flag.Int64("shared", 0, "override shared heap size in MiB (0 = config default)")
 		compare  = flag.Bool("compare", false, "also run the native baseline and report speedup")
 		tracedir = flag.String("tracedir", "", "replay binary traces (h<h>c<c>.trc, from tracegen -outdir) instead of generating")
+
+		tsPath    = flag.String("timeseries", "", "write the run's interval time-series to this file (JSON, or CSV if the path ends in .csv)")
+		trPath    = flag.String("trace", "", "write the run's protocol event trace to this file (Chrome trace-event JSON, loadable in ui.perfetto.dev)")
+		sampleInt = flag.Duration("sample-interval", 10*time.Microsecond, "time-series sampling interval in simulated time (with -timeseries)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintln(os.Stderr, "pipmsim: pprof:", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	wl, err := pipm.WorkloadByName(*wlName)
 	if err != nil {
@@ -56,15 +72,30 @@ func main() {
 		fatal(err)
 	}
 
+	var topt pipm.TelemetryOptions
+	if *tsPath != "" {
+		if *sampleInt <= 0 {
+			fatal(fmt.Errorf("-sample-interval must be positive, got %v", *sampleInt))
+		}
+		topt.SampleInterval = pipm.Time(sampleInt.Nanoseconds()) * pipm.Nanosecond
+	}
+	if *trPath != "" {
+		topt.Trace = true
+	}
+
 	var res pipm.Result
+	var tout *pipm.TelemetryOutput
 	var err2 error
 	if *tracedir != "" {
-		res, err2 = runFromTraces(cfg, k, *tracedir)
+		res, tout, err2 = runFromTraces(cfg, k, *tracedir, topt)
 	} else {
-		res, err2 = pipm.Run(cfg, wl, k, *records, *seed)
+		res, tout, err2 = pipm.RunWithTelemetry(cfg, wl, k, *records, *seed, topt)
 	}
 	if err2 != nil {
 		fatal(err2)
+	}
+	if err := exportTelemetry(tout, wl.Name, k, *tsPath, *trPath); err != nil {
+		fatal(err)
 	}
 	fmt.Printf("workload        %s (%s)\n", wl.Name, wl.Suite)
 	fmt.Printf("scheme          %v\n", k)
@@ -93,11 +124,53 @@ func main() {
 	}
 }
 
+// exportTelemetry writes whichever telemetry files were requested. tout is
+// nil when telemetry was disabled.
+func exportTelemetry(tout *pipm.TelemetryOutput, wl string, k pipm.Scheme, tsPath, trPath string) error {
+	if tout == nil {
+		return nil
+	}
+	runs := []telemetry.LabeledOutput{{Label: wl + "/" + k.String(), Output: tout}}
+	if tsPath != "" {
+		write := func(w io.Writer) error { return telemetry.WriteTimeSeries(w, runs) }
+		if strings.HasSuffix(tsPath, ".csv") {
+			write = func(w io.Writer) error { return telemetry.WriteTimeSeriesCSV(w, runs) }
+		}
+		if err := writeTo(tsPath, write); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[time-series written to %s]\n", tsPath)
+	}
+	if trPath != "" {
+		if err := writeTo(trPath, func(w io.Writer) error { return telemetry.WriteChromeTrace(w, runs) }); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[trace written to %s]\n", trPath)
+	}
+	return nil
+}
+
+// writeTo streams one export into a freshly-created file.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // runFromTraces replays tracegen -outdir output through the machine.
-func runFromTraces(cfg pipm.Config, k pipm.Scheme, dir string) (pipm.Result, error) {
+func runFromTraces(cfg pipm.Config, k pipm.Scheme, dir string, topt pipm.TelemetryOptions) (pipm.Result, *pipm.TelemetryOutput, error) {
 	m, err := pipm.NewMachine(cfg, k)
 	if err != nil {
-		return pipm.Result{}, err
+		return pipm.Result{}, nil, err
+	}
+	if err := m.EnableTelemetry(topt); err != nil {
+		return pipm.Result{}, nil, err
 	}
 	var files []*os.File
 	defer func() {
@@ -110,18 +183,18 @@ func runFromTraces(cfg pipm.Config, k pipm.Scheme, dir string) (pipm.Result, err
 			name := filepath.Join(dir, fmt.Sprintf("h%dc%d.trc", h, c))
 			f, err := os.Open(name)
 			if err != nil {
-				return pipm.Result{}, err
+				return pipm.Result{}, nil, err
 			}
 			files = append(files, f)
 			r, err := trace.NewBinaryReader(f)
 			if err != nil {
-				return pipm.Result{}, fmt.Errorf("%s: %w", name, err)
+				return pipm.Result{}, nil, fmt.Errorf("%s: %w", name, err)
 			}
 			m.SetTrace(h, c, r)
 		}
 	}
 	if err := m.Run(); err != nil {
-		return pipm.Result{}, err
+		return pipm.Result{}, nil, err
 	}
 	col := m.Stats()
 	return pipm.Result{
@@ -137,7 +210,7 @@ func runFromTraces(cfg pipm.Config, k pipm.Scheme, dir string) (pipm.Result, err
 		Demotions:      col.Demotions,
 		LinesMoved:     col.LinesMoved,
 		BytesMoved:     col.BytesMoved,
-	}, nil
+	}, m.TelemetryOutput(), nil
 }
 
 func fatal(err error) {

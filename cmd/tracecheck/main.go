@@ -1,0 +1,53 @@
+// Command tracecheck validates telemetry export files: Chrome trace-event
+// JSON written by -trace and time-series JSON written by -timeseries. CI runs
+// it against the smoke-test exports so a malformed document fails the build
+// instead of failing silently in ui.perfetto.dev.
+//
+// Usage:
+//
+//	tracecheck -trace tr.json -timeseries ts.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipm/internal/telemetry"
+)
+
+func main() {
+	var (
+		trPath = flag.String("trace", "", "Chrome trace-event JSON file to validate")
+		tsPath = flag.String("timeseries", "", "time-series JSON file to validate")
+	)
+	flag.Parse()
+	if *trPath == "" && *tsPath == "" {
+		fatal(fmt.Errorf("nothing to check: pass -trace and/or -timeseries"))
+	}
+	if *trPath != "" {
+		data, err := os.ReadFile(*trPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.ValidateChromeTrace(data); err != nil {
+			fatal(fmt.Errorf("%s: %w", *trPath, err))
+		}
+		fmt.Printf("%s: ok\n", *trPath)
+	}
+	if *tsPath != "" {
+		data, err := os.ReadFile(*tsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.ValidateTimeSeries(data); err != nil {
+			fatal(fmt.Errorf("%s: %w", *tsPath, err))
+		}
+		fmt.Printf("%s: ok\n", *tsPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

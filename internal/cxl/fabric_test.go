@@ -107,6 +107,43 @@ func TestBandwidthSaturation(t *testing.T) {
 	}
 }
 
+func TestBurstsSerializePerDirection(t *testing.T) {
+	// Hand-computed finish times at 1 GB/s (= 1000 ps/byte) and 100 ns
+	// propagation: a 1000-byte payload carries a 16-byte header, so each
+	// burst serializes for 1016 × 1000 ps = 1.016 µs.
+	c := config.Default()
+	c.CXL.LinkBW = 1e9
+	c.CXL.LinkLatency = 100 * sim.Nanosecond
+	c.CXL.SwitchHops = 0
+	f := New(c.Hosts, c.CXL)
+
+	const payload = 1000
+	serial := sim.Time((payload + HeaderBytes) * 1000) // ps
+	prop := 100 * sim.Nanosecond
+
+	// First burst on host 0's up-link owns the wire immediately.
+	first := f.HostToDevice(0, 0, payload)
+	if want := serial + prop; first != want {
+		t.Fatalf("first up burst finished at %v, want %v", first, want)
+	}
+	// Second burst issued at the same instant must wait for the full
+	// serialization of the first: it finishes exactly one serial later.
+	second := f.HostToDevice(0, 0, payload)
+	if want := 2*serial + prop; second != want {
+		t.Fatalf("queued up burst finished at %v, want %v", second, want)
+	}
+	// The opposite direction is an independent wire: a down burst issued at
+	// time 0 proceeds as if the link were idle.
+	down := f.DeviceToHost(0, 0, payload)
+	if want := serial + prop; down != want {
+		t.Fatalf("down burst finished at %v, want %v (delayed by up traffic)", down, want)
+	}
+	// All queueing in the fabric is the second up burst's wait.
+	if got := f.QueueDelay(); got != serial {
+		t.Fatalf("QueueDelay = %v, want %v", got, serial)
+	}
+}
+
 func TestAccountingAndReset(t *testing.T) {
 	f := testFabric(0)
 	f.HostToDevice(0, 0, DataBytes)

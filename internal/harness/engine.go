@@ -11,6 +11,7 @@ import (
 	"pipm/internal/config"
 	"pipm/internal/migration"
 	"pipm/internal/sim"
+	"pipm/internal/telemetry"
 	"pipm/internal/workload"
 )
 
@@ -23,11 +24,16 @@ type RunRequest struct {
 	Scheme  migration.Kind
 	Records int64
 	Seed    int64
+
+	// Telemetry, when enabled, makes the run collect a time-series and/or
+	// event trace. Enabled telemetry is part of the run identity; the zero
+	// value leaves the key — and the memo space — exactly as before.
+	Telemetry telemetry.Options
 }
 
 // Key returns the request's canonical run key.
 func (r RunRequest) Key() RunKey {
-	return KeyOf(r.Cfg, r.WL, r.Scheme, r.Records, r.Seed)
+	return keyOf(r.Cfg, r.WL, r.Scheme, r.Records, r.Seed, r.Telemetry)
 }
 
 // RunStats is the observability record of one executed simulation: how long
@@ -71,6 +77,7 @@ type runEntry struct {
 	res   Result
 	err   error
 	stats RunStats
+	telem *telemetry.Output // nil unless the request enabled telemetry
 }
 
 func newEngine(workers int, progress io.Writer) *engine {
@@ -112,7 +119,7 @@ func (e *engine) get(req RunRequest) (Result, error) {
 
 	e.sem <- struct{}{}
 	start := time.Now()
-	ent.res, ent.err = RunOne(req.Cfg, req.WL, req.Scheme, req.Records, req.Seed)
+	ent.res, ent.telem, ent.err = RunOneT(req.Cfg, req.WL, req.Scheme, req.Records, req.Seed, req.Telemetry)
 	wall := time.Since(start)
 	<-e.sem
 
@@ -196,6 +203,48 @@ func (e *engine) statsSnapshot() []RunStats {
 			return out[i].Scheme < out[j].Scheme
 		}
 		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// RunTelemetry pairs one completed run's identity with its collected
+// telemetry output.
+type RunTelemetry struct {
+	Workload string
+	Scheme   string
+	Key      RunKey
+	Output   *telemetry.Output
+}
+
+// telemetrySnapshot returns the telemetry of every completed run that
+// collected any, sorted by (workload, scheme, key) so export order — and the
+// exported bytes — are independent of worker count and completion order.
+func (e *engine) telemetrySnapshot() []RunTelemetry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []RunTelemetry
+	for key, ent := range e.runs {
+		select {
+		case <-ent.done:
+			if ent.telem != nil && ent.err == nil {
+				out = append(out, RunTelemetry{
+					Workload: ent.stats.Workload,
+					Scheme:   ent.stats.Scheme,
+					Key:      key,
+					Output:   ent.telem,
+				})
+			}
+		default: // still executing; skip
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		if out[i].Scheme != out[j].Scheme {
+			return out[i].Scheme < out[j].Scheme
+		}
+		return out[i].Key.String() < out[j].Key.String()
 	})
 	return out
 }

@@ -2,11 +2,13 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"pipm/internal/config"
 	"pipm/internal/migration"
 	"pipm/internal/sim"
+	"pipm/internal/telemetry"
 	"pipm/internal/workload"
 )
 
@@ -37,9 +39,45 @@ func (s *Suite) Options() Options { return s.opt }
 // sorted by (workload, scheme, key).
 func (s *Suite) RunStats() []RunStats { return s.eng.statsSnapshot() }
 
-// req names one run at the suite's record budget and seed.
+// Telemetry returns the collected telemetry of every completed run, sorted
+// by (workload, scheme, key). Empty unless Options.Telemetry was enabled.
+func (s *Suite) Telemetry() []RunTelemetry { return s.eng.telemetrySnapshot() }
+
+// labeledTelemetry maps the engine snapshot to the export layer's labeled
+// form ("workload/scheme" labels plus the canonical key).
+func (s *Suite) labeledTelemetry() []telemetry.LabeledOutput {
+	runs := s.Telemetry()
+	out := make([]telemetry.LabeledOutput, len(runs))
+	for i, r := range runs {
+		out[i] = telemetry.LabeledOutput{
+			Label:  r.Workload + "/" + r.Scheme,
+			Key:    r.Key.String(),
+			Output: r.Output,
+		}
+	}
+	return out
+}
+
+// WriteTimeSeries emits every collected run's time-series as JSON.
+func (s *Suite) WriteTimeSeries(w io.Writer) error {
+	return telemetry.WriteTimeSeries(w, s.labeledTelemetry())
+}
+
+// WriteTimeSeriesCSV emits the same series in long-form CSV.
+func (s *Suite) WriteTimeSeriesCSV(w io.Writer) error {
+	return telemetry.WriteTimeSeriesCSV(w, s.labeledTelemetry())
+}
+
+// WriteTrace emits every collected run's event trace as one Chrome
+// trace-event JSON document (one process per run, one thread per host).
+func (s *Suite) WriteTrace(w io.Writer) error {
+	return telemetry.WriteChromeTrace(w, s.labeledTelemetry())
+}
+
+// req names one run at the suite's record budget, seed and telemetry config.
 func (s *Suite) req(cfg config.Config, wl workload.Params, k migration.Kind) RunRequest {
-	return RunRequest{Cfg: cfg, WL: wl, Scheme: k, Records: s.opt.RecordsPerCore, Seed: s.opt.Seed}
+	return RunRequest{Cfg: cfg, WL: wl, Scheme: k, Records: s.opt.RecordsPerCore,
+		Seed: s.opt.Seed, Telemetry: s.opt.Telemetry}
 }
 
 // get fetches one run through the engine's memo.

@@ -11,6 +11,7 @@ import (
 
 	"pipm/internal/config"
 	"pipm/internal/migration"
+	"pipm/internal/telemetry"
 	"pipm/internal/workload"
 )
 
@@ -33,6 +34,15 @@ func (k RunKey) Short() string { return hex.EncodeToString(k[:6]) }
 // added to either struct in a future PR automatically changes the key space
 // instead of silently aliasing old entries.
 func KeyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64) RunKey {
+	return keyOf(cfg, wl, k, records, seed, telemetry.Options{})
+}
+
+// keyOf additionally folds a telemetry configuration into the key — but only
+// when telemetry is enabled. Disabled runs hash exactly as before, so every
+// memoized key of a telemetry-free sweep stays valid; enabled runs get their
+// own entries because the engine must keep their collected output alongside
+// the Result.
+func keyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64, topt telemetry.Options) RunKey {
 	h := sha256.New()
 	enc := canonEncoder{h: h}
 	enc.value("cfg", reflect.ValueOf(cfg))
@@ -40,6 +50,9 @@ func KeyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, see
 	enc.int64("scheme", int64(k))
 	enc.int64("records", records)
 	enc.int64("seed", seed)
+	if topt.Enabled() {
+		enc.value("telemetry", reflect.ValueOf(topt))
+	}
 	var key RunKey
 	h.Sum(key[:0])
 	return key

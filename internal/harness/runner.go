@@ -19,6 +19,7 @@ import (
 	"pipm/internal/migration"
 	"pipm/internal/sim"
 	"pipm/internal/stats"
+	"pipm/internal/telemetry"
 	"pipm/internal/workload"
 )
 
@@ -36,6 +37,13 @@ type Options struct {
 	// Progress, when non-nil, receives one line per completed simulation
 	// with wall/sim time, throughput and an ETA for the queued remainder.
 	Progress io.Writer
+
+	// Telemetry configures the observability subsystem for every run the
+	// suite executes. The zero value is disabled and keeps run keys — and
+	// therefore the memo — identical to a telemetry-free sweep; enabled
+	// telemetry is folded into the key so collected output stays attached to
+	// its run. Telemetry never perturbs simulation results.
+	Telemetry telemetry.Options
 }
 
 // DefaultOptions returns the scaled-down sweep configuration: Table 2
@@ -114,9 +122,21 @@ type Result struct {
 
 // RunOne executes a single (config, workload, scheme) simulation.
 func RunOne(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64) (Result, error) {
+	r, _, err := RunOneT(cfg, wl, k, records, seed, telemetry.Options{})
+	return r, err
+}
+
+// RunOneT is RunOne with telemetry: when topt is enabled the machine collects
+// the configured time-series and/or event trace and returns it alongside the
+// Result (nil when disabled). Telemetry does not change the Result.
+func RunOneT(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64,
+	topt telemetry.Options) (Result, *telemetry.Output, error) {
 	m, err := machine.New(cfg, k)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
+	}
+	if err := m.EnableTelemetry(topt); err != nil {
+		return Result{}, nil, err
 	}
 	am := m.AddressMap()
 	for h := 0; h < cfg.Hosts; h++ {
@@ -125,7 +145,7 @@ func RunOne(cfg config.Config, wl workload.Params, k migration.Kind, records, se
 		}
 	}
 	if err := m.Run(); err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	col := m.Stats()
 	sharedPages := float64(cfg.SharedPages())
@@ -161,7 +181,7 @@ func RunOne(cfg config.Config, wl workload.Params, k migration.Kind, records, se
 			r.LocalRemapHitRate = float64(hits) / float64(lookups)
 		}
 	}
-	return r, nil
+	return r, m.TelemetryOutput(), nil
 }
 
 // Speedup returns base execution time over r's (— >1 means r is faster).

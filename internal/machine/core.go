@@ -141,6 +141,7 @@ func (m *Machine) stepCore(c *coreState) {
 		done, class := m.access(now, c, rec)
 		hs := m.col.Host(c.host.id)
 		hs.LatSum[class] += done - now
+		m.telLat[class].Observe(done - now)
 		if done > now {
 			c.window = append(c.window, pending{done: done, class: class})
 		}

@@ -23,6 +23,7 @@ import (
 	"pipm/internal/migration"
 	"pipm/internal/sim"
 	"pipm/internal/stats"
+	"pipm/internal/telemetry"
 	"pipm/internal/tlb"
 	"pipm/internal/trace"
 )
@@ -67,6 +68,13 @@ type Machine struct {
 	// Value-tracking layer for differential conformance testing (nil when
 	// disabled); see values.go.
 	vals *valTracker
+
+	// Telemetry (nil handles when disabled; see telemetry.go). Hot paths
+	// call nil-safe methods, so the disabled cost is one predictable branch.
+	tel    *telemetry.Registry
+	trc    *telemetry.Trace
+	telLat [stats.NumClasses]*telemetry.Histogram
+	telOpt telemetry.Options
 
 	dbgUp, dbgDir, dbgData, dbgDown sim.Time
 	dbgN                            uint64
@@ -218,11 +226,21 @@ func (m *Machine) Run() error {
 	}
 	// Footprint sampling for every scheme, on the kernel interval cadence.
 	m.eng.At(m.cfg.Kernel.Interval/2, m.sampleFootprint)
+	if m.tel != nil {
+		// Baseline snapshot at t=0 (after every core's first step, which is
+		// scheduled earlier at the same instant), then interval ticks.
+		m.eng.At(0, func() { m.tel.Snapshot(0) })
+		m.eng.At(m.telOpt.SampleInterval, m.telemetryTick)
+	}
 	m.eng.Run()
 	if m.ledger != nil {
 		m.ledger.Finish()
 	}
 	m.finalizeStats()
+	if m.tel != nil {
+		// Closing snapshot: the final state at the run's makespan.
+		m.tel.Snapshot(m.eng.Now())
+	}
 	return nil
 }
 
@@ -284,6 +302,8 @@ func (m *Machine) kernelTick() {
 				c.pendingMgmt += costs.Remote
 			}
 		}
+		m.trc.Emit(now, costs.Remote, telemetry.EvShootdown, telemetry.DeviceHost,
+			int64(len(ops)), 0)
 		for _, op := range ops {
 			m.applyKernelOp(now, op)
 		}
@@ -330,16 +350,18 @@ func (m *Machine) applyKernelOp(now sim.Time, op migration.Op) {
 		// CXL → local: pooled read, link down to the new owner, local write.
 		t := m.cxlMem.AccessBulk(now, base, config.PageBytes, false)
 		t = m.fabric.DeviceToHostBG(t, op.To, config.PageBytes)
-		m.hosts[op.To].dram.AccessBulk(t, base, config.PageBytes, true)
+		done := m.hosts[op.To].dram.AccessBulk(t, base, config.PageBytes, true)
 		m.col.Promotions++
 		m.ledger.OnMigration(op.Page, op.To)
+		m.trc.Emit(now, done-now, telemetry.EvPromote, op.To, op.Page, int64(from))
 	} else {
 		// Local → CXL: local read, link up, pooled write.
 		t := m.hosts[from].dram.AccessBulk(now, base, config.PageBytes, false)
 		t = m.fabric.HostToDeviceBG(t, from, config.PageBytes)
-		m.cxlMem.AccessBulk(t, base, config.PageBytes, true)
+		done := m.cxlMem.AccessBulk(t, base, config.PageBytes, true)
 		m.col.Demotions++
 		m.ledger.OnDemotion(op.Page)
+		m.trc.Emit(now, done-now, telemetry.EvDemote, from, op.Page, 0)
 	}
 	m.col.BytesMoved += config.PageBytes
 

@@ -8,6 +8,7 @@ import (
 	"pipm/internal/migration"
 	"pipm/internal/sim"
 	"pipm/internal/stats"
+	"pipm/internal/telemetry"
 	"pipm/internal/trace"
 )
 
@@ -221,6 +222,9 @@ func (m *Machine) pipmDeviceAccess(t sim.Time, c *coreState, rec trace.Record, p
 		extra += m.cxlAccessTime(t, m.remapGlobalAddr(page))
 	}
 
+	if out.Promoted {
+		m.trc.Emit(t, 0, telemetry.EvPromote, out.Owner, page, int64(h.id))
+	}
 	if out.Revoked {
 		m.applyRevocation(t, page, out)
 	}
@@ -277,6 +281,7 @@ func (m *Machine) forwardedFetch(t sim.Time, c *coreState, rec trace.Record, pag
 	// Migrate back: clear the bit, asynchronously write the block to CXL
 	// memory, and let the device directory track the requester's copy.
 	m.mgr.DemoteLine(g, page, rec.Addr.LineInPage())
+	m.trc.Emit(t, 0, telemetry.EvLineDemote, g, page, int64(rec.Addr.LineInPage()))
 	lat += m.fabric.HostToDevice(t, g, cxlDataBytes) - t
 	m.cxlMem.Access(t, rec.Addr, true) // async in-memory update
 
@@ -293,7 +298,9 @@ func (m *Machine) forwardedFetch(t sim.Time, c *coreState, rec trace.Record, pag
 		m.fillLLC(c, line, cache.Shared)
 		m.fillL1(c, line, cache.Shared)
 	}
-	return t + lat + (m.fabric.DeviceToHost(t, h.id, cxlDataBytes) - t)
+	done := t + lat + (m.fabric.DeviceToHost(t, h.id, cxlDataBytes) - t)
+	m.trc.Emit(t, done-t, telemetry.EvInterFetch, h.id, page, int64(g))
+	return done
 }
 
 const cxlDataBytes = config.LineBytes
@@ -555,6 +562,8 @@ func (m *Machine) handleLLCEviction(h *host, ev cache.Eviction) {
 				if m.vals != nil {
 					m.vals.wbToLocal(h.id, ev.Line)
 				}
+				m.trc.Emit(now, 0, telemetry.EvLineMigrate, h.id, page,
+					int64(int(ev.Line)&(config.LinesPerPage-1)))
 				h.dram.Access(now, m.localMigratedAddr(h.id, entry, addr), true)
 				// The CXL-side in-memory bit flips too, but it lives in ECC
 				// spare bits and piggybacks on subsequent accesses (§4.3.2
@@ -641,6 +650,7 @@ func (m *Machine) applyRevocation(t sim.Time, page int64, out pipmcore.Outcome) 
 	if m.vals != nil {
 		m.vals.revoke(page, g, out.RevokedBitmap)
 	}
+	m.trc.Emit(t, 0, telemetry.EvRevoke, g, page, int64(out.RevokedLines))
 	// Dropped cache lines leave the device directory too; dirty copies —
 	// CXL-backed M and cached ME alike — write back to CXL memory: the
 	// page's remapping is gone, so local DRAM can no longer hold them.

@@ -25,6 +25,10 @@ const (
 	numClasses
 )
 
+// NumClasses is the number of service classes, for per-class instrument
+// arrays outside this package.
+const NumClasses = int(numClasses)
+
 func (c Class) String() string {
 	switch c {
 	case ClassL1Hit:
@@ -68,6 +72,16 @@ type HostStats struct {
 	PageFootprintSum int64 // migrated pages resident × samples
 	LineFootprintSum int64 // migrated lines resident × samples
 	Samples          int64
+}
+
+// MeanLat returns the host's mean service latency for class cl: LatSum is a
+// raw sum and must never be reported directly — divide by Served, returning
+// 0 when the class served nothing.
+func (h *HostStats) MeanLat(cl Class) sim.Time {
+	if h.Served[cl] == 0 {
+		return 0
+	}
+	return h.LatSum[cl] / sim.Time(h.Served[cl])
 }
 
 // Collector is the per-run measurement sink.
@@ -247,7 +261,9 @@ func (c *Collector) Summary() string {
 	fmt.Fprintf(&b, "exec=%v instr=%d", c.ExecTime(), c.Instructions())
 	for cl := Class(0); cl < numClasses; cl++ {
 		if n := c.Served(cl); n > 0 {
-			fmt.Fprintf(&b, " %s=%d", cl, n)
+			// Mean latency, not the raw LatSum: the sum scales with run
+			// length and reads as nonsense in a digest.
+			fmt.Fprintf(&b, " %s=%d(%v)", cl, n, c.MeanLatency(cl))
 		}
 	}
 	fmt.Fprintf(&b, " localHit=%.1f%%", 100*c.LocalHitRate())

@@ -133,3 +133,16 @@ func TestMeanLatency(t *testing.T) {
 		t.Fatal("unserved class should have 0 latency")
 	}
 }
+
+func TestHostMeanLat(t *testing.T) {
+	var h HostStats
+	// A class that served nothing must report 0, not divide by zero.
+	if got := h.MeanLat(ClassInterHost); got != 0 {
+		t.Fatalf("MeanLat of unserved class = %v, want 0", got)
+	}
+	h.Served[ClassLocalShared] = 4
+	h.LatSum[ClassLocalShared] = 400 * sim.Nanosecond
+	if got := h.MeanLat(ClassLocalShared); got != 100*sim.Nanosecond {
+		t.Fatalf("MeanLat = %v, want 100ns", got)
+	}
+}

@@ -1,0 +1,293 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TimeSeriesSchema identifies the time-series JSON layout.
+const TimeSeriesSchema = "pipm-timeseries/v1"
+
+// LabeledOutput names one run's telemetry for multi-run export: the
+// experiment harness labels runs "workload/scheme"; a single-run CLI labels
+// its one run directly.
+type LabeledOutput struct {
+	Label  string
+	Key    string // canonical run key (may be shortened), "" when unkeyed
+	Output *Output
+}
+
+// tsDoc is the on-disk time-series layout. Field order is fixed so the
+// emitted bytes are deterministic for a given run set.
+type tsDoc struct {
+	Schema string  `json:"schema"`
+	Runs   []tsRun `json:"runs"`
+}
+
+type tsRun struct {
+	Label            string              `json:"label"`
+	Key              string              `json:"key,omitempty"`
+	SampleIntervalPS int64               `json:"sample_interval_ps"`
+	Names            []string            `json:"names"`
+	Samples          []tsSample          `json:"samples"`
+	Histograms       []HistogramSnapshot `json:"histograms,omitempty"`
+	TraceDropped     uint64              `json:"trace_dropped,omitempty"`
+}
+
+type tsSample struct {
+	TPS    int64     `json:"t_ps"`
+	Values []float64 `json:"values"`
+}
+
+// WriteTimeSeries writes the runs' sampled time-series as JSON.
+func WriteTimeSeries(w io.Writer, runs []LabeledOutput) error {
+	doc := tsDoc{Schema: TimeSeriesSchema, Runs: []tsRun{}}
+	for _, r := range runs {
+		if r.Output == nil {
+			continue
+		}
+		tr := tsRun{
+			Label:            r.Label,
+			Key:              r.Key,
+			SampleIntervalPS: int64(r.Output.SampleInterval),
+			Names:            []string{},
+			Samples:          []tsSample{},
+			Histograms:       r.Output.Histograms,
+			TraceDropped:     r.Output.Trace.Dropped(),
+		}
+		if s := r.Output.Series; s != nil {
+			tr.Names = s.Names
+			for _, smp := range s.Samples {
+				tr.Samples = append(tr.Samples, tsSample{TPS: int64(smp.At), Values: smp.Values})
+			}
+		}
+		doc.Runs = append(doc.Runs, tr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteTimeSeriesCSV writes the runs' time-series in long format:
+// label,key,t_ps,series,value — one row per (sample, instrument), ready for
+// figure regeneration without a JSON parser.
+func WriteTimeSeriesCSV(w io.Writer, runs []LabeledOutput) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"label", "key", "t_ps", "series", "value"}); err != nil {
+		return err
+	}
+	for _, r := range runs {
+		if r.Output == nil || r.Output.Series == nil {
+			continue
+		}
+		s := r.Output.Series
+		for _, smp := range s.Samples {
+			for i, name := range s.Names {
+				rec := []string{
+					r.Label, r.Key,
+					strconv.FormatInt(int64(smp.At), 10),
+					name,
+					strconv.FormatFloat(smp.Values[i], 'g', -1, 64),
+				}
+				if err := cw.Write(rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ---------------------------------------------- Chrome trace-event export --
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON Object
+// Format"), the subset Perfetto's legacy importer accepts: metadata (M),
+// instant (i), complete (X) and counter (C) events.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	Scope string         `json:"s,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// psToUS converts simulated picoseconds to trace microseconds.
+func psToUS(ps int64) float64 { return float64(ps) / 1e6 }
+
+// counterTrackSeries selects which sampled series also export as Chrome
+// counter tracks (one per host/link), so migration waves and CXL-link
+// saturation are visible on the Perfetto timeline without opening the
+// time-series file.
+func counterTrackSeries(name string) bool {
+	return strings.Contains(name, ".footprint.") || strings.Contains(name, ".link.")
+}
+
+// WriteChromeTrace writes the runs' event traces (and counter tracks derived
+// from their time-series) as Chrome trace-event JSON loadable in
+// ui.perfetto.dev or chrome://tracing. One process per run; one thread per
+// host plus one for the CXL device side.
+func WriteChromeTrace(w io.Writer, runs []LabeledOutput) error {
+	doc := chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for pid, r := range runs {
+		if r.Output == nil {
+			continue
+		}
+		label := r.Label
+		if label == "" {
+			label = fmt.Sprintf("run%d", pid)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": label},
+		})
+
+		// Thread (track) ids: host h → h+1; device side → 0.
+		maxHost := -1
+		events := r.Output.Trace.Events()
+		for _, e := range events {
+			if int(e.Host) > maxHost {
+				maxHost = int(e.Host)
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": "cxl-device"},
+		})
+		for h := 0; h <= maxHost; h++ {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: h + 1,
+				Args: map[string]any{"name": fmt.Sprintf("host%d", h)},
+			})
+		}
+
+		for _, e := range events {
+			tid := int(e.Host) + 1
+			if e.Host == DeviceHost {
+				tid = 0
+			}
+			ce := chromeEvent{
+				Name: e.Kind.String(),
+				TS:   psToUS(int64(e.At)),
+				PID:  pid,
+				TID:  tid,
+				Args: map[string]any{"page": e.Page, "arg": e.Arg},
+			}
+			if e.Dur > 0 {
+				ce.Ph = "X"
+				ce.Dur = psToUS(int64(e.Dur))
+			} else {
+				ce.Ph = "i"
+				ce.Scope = "t"
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ce)
+		}
+
+		// Counter tracks from the sampled series.
+		if s := r.Output.Series; s != nil {
+			for i, name := range s.Names {
+				if !counterTrackSeries(name) {
+					continue
+				}
+				for _, smp := range s.Samples {
+					doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+						Name: name, Ph: "C", TS: psToUS(int64(smp.At)),
+						PID: pid, TID: 0,
+						Args: map[string]any{"value": smp.Values[i]},
+					})
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// -------------------------------------------------------------- validators --
+
+// ValidateChromeTrace checks that data parses as Chrome trace-event JSON:
+// a traceEvents array whose entries carry a name, a known phase, and — for
+// non-metadata events — a non-negative timestamp. This is the format gate
+// cmd/tracecheck and CI run against exported traces.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("telemetry: trace is not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("telemetry: trace has no traceEvents")
+	}
+	known := map[string]bool{"M": true, "i": true, "I": true, "X": true, "C": true, "B": true, "E": true}
+	for i, ev := range doc.TraceEvents {
+		name, _ := ev["name"].(string)
+		if name == "" {
+			return fmt.Errorf("telemetry: traceEvents[%d] has no name", i)
+		}
+		ph, _ := ev["ph"].(string)
+		if !known[ph] {
+			return fmt.Errorf("telemetry: traceEvents[%d] (%s) has unknown phase %q", i, name, ph)
+		}
+		if ph == "M" {
+			continue
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok || ts < 0 {
+			return fmt.Errorf("telemetry: traceEvents[%d] (%s) has invalid ts", i, name)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			return fmt.Errorf("telemetry: traceEvents[%d] (%s) has no pid", i, name)
+		}
+	}
+	return nil
+}
+
+// ValidateTimeSeries checks that data parses as the pipm-timeseries/v1
+// layout with internally consistent runs.
+func ValidateTimeSeries(data []byte) error {
+	var doc struct {
+		Schema string `json:"schema"`
+		Runs   []struct {
+			Label   string   `json:"label"`
+			Names   []string `json:"names"`
+			Samples []struct {
+				TPS    *int64    `json:"t_ps"`
+				Values []float64 `json:"values"`
+			} `json:"samples"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("telemetry: time-series is not valid JSON: %w", err)
+	}
+	if doc.Schema != TimeSeriesSchema {
+		return fmt.Errorf("telemetry: time-series schema %q, want %q", doc.Schema, TimeSeriesSchema)
+	}
+	for _, r := range doc.Runs {
+		if r.Label == "" {
+			return fmt.Errorf("telemetry: time-series run without label")
+		}
+		for i, s := range r.Samples {
+			if s.TPS == nil {
+				return fmt.Errorf("telemetry: run %s sample %d has no t_ps", r.Label, i)
+			}
+			if len(s.Values) != len(r.Names) {
+				return fmt.Errorf("telemetry: run %s sample %d has %d values for %d names",
+					r.Label, i, len(s.Values), len(r.Names))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import "pipm/internal/sim"
+
+// EventKind classifies one protocol-level happening in the machine.
+type EventKind uint8
+
+const (
+	// EvPromote: a page was promoted — kernel whole-page migration into a
+	// host's local DRAM, or a PIPM majority-vote partial-migration grant.
+	EvPromote EventKind = iota
+	// EvDemote: a kernel scheme moved a page back to CXL memory.
+	EvDemote
+	// EvRevoke: PIPM revoked a partial migration; every migrated block of
+	// the page travelled back to its original CXL location.
+	EvRevoke
+	// EvLineMigrate: one block incrementally migrated into the owner's local
+	// DRAM on an LLC eviction (the I→I' transition of case ①).
+	EvLineMigrate
+	// EvLineDemote: one migrated block moved back to CXL memory on an
+	// inter-host access (the ME/I' → I transition of cases ⑤⑥).
+	EvLineDemote
+	// EvShootdown: a batched TLB shootdown stalled every core in the system
+	// at a kernel migration epoch.
+	EvShootdown
+	// EvInterFetch: a request was owner-forwarded to another host's local
+	// copy (the 4-hop inter-host path).
+	EvInterFetch
+	numEventKinds
+)
+
+// String returns the exported event name.
+func (k EventKind) String() string {
+	switch k {
+	case EvPromote:
+		return "promote"
+	case EvDemote:
+		return "demote"
+	case EvRevoke:
+		return "revoke"
+	case EvLineMigrate:
+		return "line-migrate"
+	case EvLineDemote:
+		return "line-demote"
+	case EvShootdown:
+		return "tlb-shootdown"
+	case EvInterFetch:
+		return "inter-fetch"
+	default:
+		return "event"
+	}
+}
+
+// Event is one structured trace record. Host −1 means the CXL device side
+// (the memory node / fabric), which exports as its own track.
+type Event struct {
+	At   sim.Time
+	Dur  sim.Time // 0 ⇒ instant event
+	Kind EventKind
+	Host int16
+	Page int64
+	Arg  int64 // kind-specific: line index, line count, peer host, ...
+}
+
+// DeviceHost is the Event.Host value for device-side (non-host) events.
+const DeviceHost = -1
+
+// Trace is a bounded ring buffer of protocol events: the newest Capacity
+// events are kept, older ones are dropped (counted). The nil Trace is a
+// valid no-op — the disabled-telemetry fast path.
+type Trace struct {
+	events  []Event
+	start   int
+	full    bool
+	dropped uint64
+}
+
+// NewTrace returns a trace bounded to capacity events (DefaultTraceCapacity
+// when capacity ≤ 0).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Trace{events: make([]Event, 0, capacity)}
+}
+
+// Emit appends one event, evicting the oldest when the ring is full. No-op
+// on a nil trace.
+func (t *Trace) Emit(at, dur sim.Time, kind EventKind, host int, page, arg int64) {
+	if t == nil {
+		return
+	}
+	e := Event{At: at, Dur: dur, Kind: kind, Host: int16(host), Page: page, Arg: arg}
+	if !t.full && len(t.events) < cap(t.events) {
+		t.events = append(t.events, e)
+		return
+	}
+	t.full = true
+	t.events[t.start] = e
+	t.start++
+	t.dropped++
+	if t.start == len(t.events) {
+		t.start = 0
+	}
+}
+
+// Len returns the number of buffered events (0 on nil).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns how many events the ring evicted (0 on nil).
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the buffered events oldest-first (nil on nil).
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.start:]...)
+	out = append(out, t.events[:t.start]...)
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"pipm/internal/migration"
 	"pipm/internal/silo"
 	"pipm/internal/sim"
+	"pipm/internal/telemetry"
 	"pipm/internal/trace"
 	"pipm/internal/workload"
 )
@@ -91,6 +92,23 @@ type Result = harness.Result
 // generates records per-core traces seeded by seed.
 func Run(cfg Config, wl Workload, s Scheme, records, seed int64) (Result, error) {
 	return harness.RunOne(cfg, wl, s, records, seed)
+}
+
+// TelemetryOptions configures the sim-time observability subsystem: a
+// sampling interval for interval time-series, and/or a bounded protocol
+// event trace. The zero value is disabled and costs one predictable branch
+// on the simulator's hot paths.
+type TelemetryOptions = telemetry.Options
+
+// TelemetryOutput is one run's collected telemetry: the sampled time-series,
+// final latency histograms, and the protocol event trace.
+type TelemetryOutput = telemetry.Output
+
+// RunWithTelemetry is Run plus telemetry collection. The returned output is
+// nil when topt is disabled; telemetry never changes the Result.
+func RunWithTelemetry(cfg Config, wl Workload, s Scheme, records, seed int64,
+	topt TelemetryOptions) (Result, *TelemetryOutput, error) {
+	return harness.RunOneT(cfg, wl, s, records, seed, topt)
 }
 
 // Speedup returns base's execution time over r's (>1 ⇒ r is faster).
