@@ -288,6 +288,39 @@ func BenchmarkTelemetryEnabled(b *testing.B) {
 	}
 }
 
+// BenchmarkAccessPath runs one reduced simulation per scheme family,
+// end to end. The companion white-box benchmark of the same name in
+// internal/machine isolates the bare hierarchy walk and is the 0 allocs/op
+// guard for the DESIGN.md §11 layered memory path; this one pins each
+// family's full records/s so a route-module regression shows up in the
+// wall-clock trend even when it stays allocation-free.
+func BenchmarkAccessPath(b *testing.B) {
+	o := benchOptions()
+	wl, _ := pipm.WorkloadByName("pr")
+	families := []struct {
+		name string
+		k    pipm.Scheme
+	}{
+		{"native", pipm.Native},
+		{"kernel", pipm.Memtis},
+		{"hardware", pipm.PIPM},
+		{"local-only", pipm.LocalOnly},
+	}
+	records := int64(20_000)
+	for _, f := range families {
+		b.Run(f.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipm.Run(o.Cfg, wl, f.k, records, o.Seed); err != nil {
+					b.Fatal(err)
+				}
+			}
+			total := float64(records) * float64(o.Cfg.Hosts*o.Cfg.CoresPerHost) * float64(b.N)
+			b.ReportMetric(total/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	// Raw simulation speed: records simulated per second of wall time.
 	o := benchOptions()

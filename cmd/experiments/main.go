@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"text/tabwriter"
 	"time"
 
 	"pipm"
@@ -51,8 +52,31 @@ func main() {
 		trPath    = flag.String("trace", "", "write per-run protocol event traces to this file (Chrome trace-event JSON, loadable in ui.perfetto.dev)")
 		sampleInt = flag.Duration("sample-interval", 10*time.Microsecond, "time-series sampling interval in simulated time (with -timeseries)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
+		listSchemes   = flag.Bool("list-schemes", false, "list registered placement schemes and exit")
+		listWorkloads = flag.Bool("list-workloads", false, "list the Table 1 workload catalog and exit")
 	)
 	flag.Parse()
+
+	if *listSchemes {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "NAME\tFAMILY\tDESCRIPTION")
+		for _, s := range pipm.RegisteredSchemes() {
+			fmt.Fprintf(tw, "%s\t%v\t%s\n", s.Name, s.Family, s.Desc)
+		}
+		tw.Flush()
+		return
+	}
+	if *listWorkloads {
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "NAME\tSUITE\tFOOTPRINT\tSHARED%\tWRITE%")
+		for _, wl := range pipm.Workloads() {
+			fmt.Fprintf(tw, "%s\t%s\t%dMB\t%.0f%%\t%.0f%%\n",
+				wl.Name, wl.Suite, wl.Footprint>>20, 100*wl.SharedFrac, 100*wl.WriteFrac)
+		}
+		tw.Flush()
+		return
+	}
 
 	if *pprofAddr != "" {
 		go func() {

@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"pipm"
@@ -28,7 +29,7 @@ import (
 func main() {
 	var (
 		wlName   = flag.String("workload", "pr", "workload name ("+strings.Join(pipm.WorkloadNames(), ", ")+")")
-		scheme   = flag.String("scheme", "pipm", "placement scheme (native, nomad, memtis, hemem, os-skew, hw-static, pipm, local-only)")
+		scheme   = flag.String("scheme", "pipm", "placement scheme ("+strings.Join(pipm.SchemeNames(), ", ")+")")
 		records  = flag.Int64("records", 400_000, "trace records per core")
 		seed     = flag.Int64("seed", 1, "workload generator seed")
 		hosts    = flag.Int("hosts", 0, "override host count (0 = config default)")
@@ -41,8 +42,20 @@ func main() {
 		trPath    = flag.String("trace", "", "write the run's protocol event trace to this file (Chrome trace-event JSON, loadable in ui.perfetto.dev)")
 		sampleInt = flag.Duration("sample-interval", 10*time.Microsecond, "time-series sampling interval in simulated time (with -timeseries)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+
+		listSchemes   = flag.Bool("list-schemes", false, "list registered placement schemes and exit")
+		listWorkloads = flag.Bool("list-workloads", false, "list the Table 1 workload catalog and exit")
 	)
 	flag.Parse()
+
+	if *listSchemes {
+		printSchemes(os.Stdout)
+		return
+	}
+	if *listWorkloads {
+		printWorkloads(os.Stdout)
+		return
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -211,6 +224,27 @@ func runFromTraces(cfg pipm.Config, k pipm.Scheme, dir string, topt pipm.Telemet
 		LinesMoved:     col.LinesMoved,
 		BytesMoved:     col.BytesMoved,
 	}, m.TelemetryOutput(), nil
+}
+
+// printSchemes lists the scheme registry (the same source -scheme parses).
+func printSchemes(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tFAMILY\tDESCRIPTION")
+	for _, s := range pipm.RegisteredSchemes() {
+		fmt.Fprintf(tw, "%s\t%v\t%s\n", s.Name, s.Family, s.Desc)
+	}
+	tw.Flush()
+}
+
+// printWorkloads lists the Table 1 catalog the -workload flag accepts.
+func printWorkloads(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NAME\tSUITE\tFOOTPRINT\tSHARED%\tWRITE%")
+	for _, wl := range pipm.Workloads() {
+		fmt.Fprintf(tw, "%s\t%s\t%dMB\t%.0f%%\t%.0f%%\n",
+			wl.Name, wl.Suite, wl.Footprint>>20, 100*wl.SharedFrac, 100*wl.WriteFrac)
+	}
+	tw.Flush()
 }
 
 func fatal(err error) {

@@ -88,11 +88,19 @@ func (s *Suite) get(cfg config.Config, wl workload.Params, k migration.Kind) (Re
 // prefetch executes the request set on the worker pool before assembly.
 func (s *Suite) prefetch(reqs []RunRequest) error { return s.eng.runAll(reqs) }
 
-// fig10Schemes is the presentation order of the end-to-end comparison.
-var fig10Schemes = []migration.Kind{
-	migration.Nomad, migration.Memtis, migration.HeMem,
-	migration.OSSkew, migration.HWStatic, migration.PIPM, migration.LocalOnly,
-}
+// fig10Schemes is the presentation order of the end-to-end comparison:
+// every registered scheme except the native baseline (the normalisation
+// denominator), in registry order. A ninth scheme added to the registry
+// appears here — and in every metricTable figure — automatically.
+var fig10Schemes = func() []migration.Kind {
+	var ks []migration.Kind
+	for _, sc := range migration.Registered() {
+		if sc.Kind != migration.Native {
+			ks = append(ks, sc.Kind)
+		}
+	}
+	return ks
+}()
 
 // Table1 renders the workload catalog (Table 1).
 func Table1() string {
@@ -304,9 +312,13 @@ func (s *Suite) Fig12() (Table, error) {
 // Fig13 reproduces the per-host local-footprint ratios, including the
 // PIPM-page vs PIPM-line split.
 func (s *Suite) Fig13() (Table, error) {
-	schemes := []migration.Kind{
-		migration.Nomad, migration.Memtis, migration.HeMem,
-		migration.OSSkew, migration.HWStatic,
+	// Every comparison scheme except PIPM (special-cased below for its
+	// page/line split) and local-only (no migrated footprint by definition).
+	var schemes []migration.Kind
+	for _, k := range fig10Schemes {
+		if k != migration.PIPM && k != migration.LocalOnly {
+			schemes = append(schemes, k)
+		}
 	}
 	var reqs []RunRequest
 	for _, wl := range s.opt.Workloads {
@@ -348,7 +360,14 @@ func (s *Suite) Fig13() (Table, error) {
 }
 
 func (s *Suite) metricTable(title, cellFmt string, metric func(Result) float64) (Table, error) {
-	schemes := fig10Schemes[:len(fig10Schemes)-1] // drop local-only
+	// Local-only is dropped: per-scheme memory-path metrics are undefined
+	// for the upper bound.
+	var schemes []migration.Kind
+	for _, k := range fig10Schemes {
+		if k != migration.LocalOnly {
+			schemes = append(schemes, k)
+		}
+	}
 	var reqs []RunRequest
 	for _, wl := range s.opt.Workloads {
 		for _, k := range schemes {

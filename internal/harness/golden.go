@@ -1,0 +1,22 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"reflect"
+)
+
+// DigestResult returns a hex SHA-256 over the canonical encoding of r —
+// every exported field, labeled, depth-first, floats by their IEEE bits (the
+// same encoder that computes RunKey). Two Results digest equally iff they
+// are bit-identical, so the golden-digest test (golden_test.go) can assert
+// that a refactor of the memory path reproduced every quick-sweep Result
+// exactly, not merely approximately.
+func DigestResult(r Result) string {
+	h := sha256.New()
+	enc := canonEncoder{h: h}
+	enc.value("result", reflect.ValueOf(r))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"pipm/internal/migration"
+)
+
+// -update-golden regenerates testdata/golden_quick.json from the current
+// code instead of comparing against it. Regenerate ONLY when a Result change
+// is intended (new scheme, new metric, a deliberate model fix) — never to
+// make a refactor pass. See DESIGN.md §11.
+var updateGoldenQuick = flag.Bool("update-golden", false,
+	"rewrite internal/harness/testdata/golden_quick.json from the current code")
+
+const goldenPath = "testdata/golden_quick.json"
+
+// goldenFile is the committed digest record for the quick sweep: one entry
+// per scheme × quick-workload pair, keyed by the canonical RunKey and
+// carrying the SHA-256 digest of the run's Result.
+type goldenFile struct {
+	Schema         string        `json:"schema"`
+	RecordsPerCore int64         `json:"records_per_core"`
+	Seed           int64         `json:"seed"`
+	Entries        []goldenEntry `json:"entries"`
+}
+
+type goldenEntry struct {
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	Key      string `json:"key"`
+	Digest   string `json:"digest"`
+}
+
+// goldenSweep runs the quick sweep — every registered scheme × every
+// QuickOptions workload — and returns one digest entry per pair, in
+// presentation order (workload-major, scheme order as registered).
+func goldenSweep(t *testing.T) []goldenEntry {
+	t.Helper()
+	o := QuickOptions()
+
+	type job struct {
+		idx int
+		wl  int
+		k   migration.Kind
+	}
+	var jobs []job
+	for wi := range o.Workloads {
+		for _, k := range migration.Kinds {
+			jobs = append(jobs, job{idx: len(jobs), wl: wi, k: k})
+		}
+	}
+	entries := make([]goldenEntry, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			wl := o.Workloads[j.wl]
+			key := KeyOf(o.Cfg, wl, j.k, o.RecordsPerCore, o.Seed)
+			res, err := RunOne(o.Cfg, wl, j.k, o.RecordsPerCore, o.Seed)
+			if err != nil {
+				errs[j.idx] = fmt.Errorf("%s/%v: %w", wl.Name, j.k, err)
+				return
+			}
+			entries[j.idx] = goldenEntry{
+				Workload: wl.Name,
+				Scheme:   j.k.String(),
+				Key:      key.String(),
+				Digest:   DigestResult(res),
+			}
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return entries
+}
+
+// TestGoldenQuickSweep is the bit-identity guard over the memory path: every
+// scheme × quick-workload Result must digest exactly as recorded in
+// testdata/golden_quick.json. A refactor of the walk, the route modules or
+// the scheme hooks that changes any stat, any latency or any event ordering
+// fails here before it can silently shift a figure.
+func TestGoldenQuickSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick sweep is too slow for -short")
+	}
+	o := QuickOptions()
+	got := goldenSweep(t)
+
+	if *updateGoldenQuick {
+		gf := goldenFile{
+			Schema:         "pipm-golden/v1",
+			RecordsPerCore: o.RecordsPerCore,
+			Seed:           o.Seed,
+			Entries:        got,
+		}
+		buf, err := json.MarshalIndent(gf, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), goldenPath)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	if want.Schema != "pipm-golden/v1" {
+		t.Fatalf("golden schema = %q, want pipm-golden/v1", want.Schema)
+	}
+	if want.RecordsPerCore != o.RecordsPerCore || want.Seed != o.Seed {
+		t.Fatalf("golden sweep shape (records=%d seed=%d) != QuickOptions (records=%d seed=%d); regenerate with -update-golden",
+			want.RecordsPerCore, want.Seed, o.RecordsPerCore, o.Seed)
+	}
+
+	wantByKey := make(map[string]goldenEntry, len(want.Entries))
+	for _, e := range want.Entries {
+		wantByKey[e.Key] = e
+	}
+	var mismatches []string
+	for _, e := range got {
+		w, ok := wantByKey[e.Key]
+		if !ok {
+			mismatches = append(mismatches,
+				fmt.Sprintf("%s/%s: run key %s not in golden file (config or scheme set changed; regenerate with -update-golden)",
+					e.Workload, e.Scheme, e.Key[:12]))
+			continue
+		}
+		if w.Digest != e.Digest {
+			mismatches = append(mismatches,
+				fmt.Sprintf("%s/%s: Result digest %s… != golden %s… (memory path no longer bit-identical)",
+					e.Workload, e.Scheme, e.Digest[:12], w.Digest[:12]))
+		}
+		delete(wantByKey, e.Key)
+	}
+	var stale []string
+	for _, w := range wantByKey {
+		stale = append(stale, fmt.Sprintf("%s/%s", w.Workload, w.Scheme))
+	}
+	sort.Strings(stale)
+	if len(stale) > 0 {
+		mismatches = append(mismatches,
+			fmt.Sprintf("golden entries with no matching run (scheme removed or renamed?): %v", stale))
+	}
+	if len(mismatches) > 0 {
+		for _, m := range mismatches {
+			t.Error(m)
+		}
+	}
+	if len(got) != len(want.Entries) {
+		t.Errorf("ran %d scheme×workload pairs, golden file has %d", len(got), len(want.Entries))
+	}
+}

@@ -21,16 +21,28 @@ type coreState struct {
 	l1   *cache.Cache
 	tlb  *tlb.TLB // nil unless Config.TLBEntries > 0
 
-	clk    sim.Time // next-issue time
-	window []pending
+	// step is the core's engine closure, bound once at Run so the
+	// per-quantum re-schedule never allocates.
+	step func()
+
+	clk sim.Time // next-issue time
+	// window is a fixed-capacity FIFO ring of in-flight ops (len == MSHRs,
+	// allocated at build time): winHead indexes the oldest entry, winLen
+	// counts occupancy. A plain append/reslice slice here erodes its
+	// backing array and reallocates on the hot path.
+	window  []pending
+	winHead int
+	winLen  int
 	// lastMem is the previous memory op's completion time and class;
 	// dependent records (pointer chases) issue no earlier than this.
 	lastMem      sim.Time
 	lastMemClass stats.Class
 	// pendingRec holds a record whose dependence stall crossed the quantum
 	// boundary; it issues first at the next step (front-end and stall
-	// already accounted).
-	pendingRec *trace.Record
+	// already accounted). Stored by value: boxing it behind a pointer
+	// allocates once per quantum-crossing record.
+	pendingRec    trace.Record
+	hasPendingRec bool
 
 	// Stalls injected by kernel migration, applied at the next step.
 	pendingMgmt     sim.Time
@@ -47,6 +59,27 @@ type coreState struct {
 type pending struct {
 	done  sim.Time
 	class stats.Class
+}
+
+// popOldest removes and returns the window's oldest in-flight op.
+func (c *coreState) popOldest() pending {
+	p := c.window[c.winHead]
+	c.winHead++
+	if c.winHead == len(c.window) {
+		c.winHead = 0
+	}
+	c.winLen--
+	return p
+}
+
+// pushOp records an in-flight op; the caller guarantees winLen < len(window).
+func (c *coreState) pushOp(p pending) {
+	i := c.winHead + c.winLen
+	if i >= len(c.window) {
+		i -= len(c.window)
+	}
+	c.window[i] = p
+	c.winLen++
 }
 
 // maxBatch bounds records processed per engine event so one core cannot
@@ -79,21 +112,20 @@ func (m *Machine) stepCore(c *coreState) {
 		// yields back to the engine so other cores' earlier walks acquire
 		// shared resources first — otherwise one core's jump ahead creates
 		// spurious FCFS queueing for everyone behind it.
-		for len(c.window) > 0 && c.window[0].done <= now {
-			c.window = c.window[1:]
+		for c.winLen > 0 && c.window[c.winHead].done <= now {
+			c.popOldest()
 		}
-		if len(c.window) >= m.cfg.MSHRs {
-			oldest := c.window[0]
+		if c.winLen >= m.cfg.MSHRs {
+			oldest := c.popOldest()
 			c.stall[oldest.class] += oldest.done - now
 			now = oldest.done
-			c.window = c.window[1:]
 			continue // re-check the deadline before issuing
 		}
 
 		var rec trace.Record
-		if c.pendingRec != nil {
-			rec = *c.pendingRec
-			c.pendingRec = nil
+		if c.hasPendingRec {
+			rec = c.pendingRec
+			c.hasPendingRec = false
 		} else {
 			var ok bool
 			rec, ok = c.rd.Next()
@@ -102,10 +134,9 @@ func (m *Machine) stepCore(c *coreState) {
 				m.liveCores--
 				// Drain: the core finishes when its last outstanding op does.
 				c.finish = now
-				for _, p := range c.window {
-					c.finish = sim.Max(c.finish, p.done)
+				for c.winLen > 0 {
+					c.finish = sim.Max(c.finish, c.popOldest().done)
 				}
-				c.window = nil
 				m.recordStalls(c)
 				return
 			}
@@ -118,7 +149,8 @@ func (m *Machine) stepCore(c *coreState) {
 			cycles := (int64(rec.Gap) + 1 + m.width - 1) / m.width
 			now += m.clock.Cycles(cycles)
 			if now >= deadline {
-				c.pendingRec = &rec
+				c.pendingRec = rec
+				c.hasPendingRec = true
 				break
 			}
 		}
@@ -131,7 +163,8 @@ func (m *Machine) stepCore(c *coreState) {
 		if rec.Dep && c.lastMem > now {
 			c.stall[c.lastMemClass] += c.lastMem - now
 			if c.lastMem >= deadline {
-				c.pendingRec = &rec
+				c.pendingRec = rec
+				c.hasPendingRec = true
 				now = c.lastMem
 				break
 			}
@@ -143,12 +176,12 @@ func (m *Machine) stepCore(c *coreState) {
 		hs.LatSum[class] += done - now
 		m.telLat[class].Observe(done - now)
 		if done > now {
-			c.window = append(c.window, pending{done: done, class: class})
+			c.pushOp(pending{done: done, class: class})
 		}
 		c.lastMem, c.lastMemClass = done, class
 	}
 	c.clk = now
-	m.eng.At(now, func() { m.stepCore(c) })
+	m.eng.At(now, c.step)
 }
 
 // recordStalls folds a finished core's attribution ledger into host stats.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	pipmcore "pipm/internal/core"
-	"pipm/internal/migration"
 )
 
 // Software page hints (§6 of the paper), available on hardware schemes
@@ -14,7 +13,7 @@ import (
 // revocation.
 
 func (m *Machine) hintManager() (*pipmcore.Manager, error) {
-	if m.scheme != migration.PIPM || m.mgr == nil {
+	if !m.hintsOK || m.mgr == nil {
 		return nil, fmt.Errorf("machine: page hints require the PIPM scheme (have %v)", m.scheme)
 	}
 	return m.mgr, nil

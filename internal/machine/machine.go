@@ -50,6 +50,31 @@ type Machine struct {
 	// Hardware-scheme state (PIPM, HW-static).
 	mgr *pipmcore.Manager
 
+	// Scheme-family routing, resolved once at build time (DESIGN.md §11):
+	// the invariant walk dispatches through these three functions, which the
+	// active family's route module binds; the hooks carry the per-access
+	// placement decisions. No per-access registry lookups or interface
+	// dispatch happen where a direct call suffices.
+	family      migration.Family
+	hooks       migration.SchemeHooks
+	kHooks      *migration.KernelHooks   // non-nil iff family == FamilyKernel
+	hwHooks     *migration.HardwareHooks // non-nil iff family == FamilyHardware
+	routeShared func(sim.Time, *coreState, trace.Record, int64) (sim.Time, stats.Class)
+	missShared  func(sim.Time, *coreState, trace.Record, int64) (sim.Time, stats.Class)
+	evictShared func(h *host, now sim.Time, page int64, addr, line config.Addr, vState cache.State)
+	auditShared bool // false when the family has no cross-host sharing semantics
+
+	// Family knobs from the scheme descriptor.
+	asyncKernelTransfer bool
+	hintsOK             bool
+
+	// Pre-bound tick closures: scheduling a method value through eng.At
+	// allocates a fresh closure per call; binding once keeps the periodic
+	// re-arms allocation-free.
+	kernelTickFn      func()
+	sampleFootprintFn func()
+	telemetryTickFn   func()
+
 	col *stats.Collector
 
 	// Cached timing constants.
@@ -99,6 +124,10 @@ func New(cfg config.Config, scheme migration.Kind) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	ent, ok := migration.Lookup(scheme)
+	if !ok {
+		return nil, fmt.Errorf("machine: unregistered scheme %v", scheme)
+	}
 	m := &Machine{
 		cfg:     cfg,
 		amap:    config.NewAddressMap(&cfg),
@@ -124,32 +153,37 @@ func New(cfg config.Config, scheme migration.Kind) (*Machine, error) {
 		}
 		for c := 0; c < cfg.CoresPerHost; c++ {
 			hs.cores = append(hs.cores, &coreState{
-				host: hs,
-				id:   c,
-				l1:   cache.New(fmt.Sprintf("h%d.c%d.l1d", h, c), cfg.L1D),
-				tlb:  tlb.NewTLB(cfg.TLBEntries, cfg.TLBWays),
+				host:   hs,
+				id:     c,
+				l1:     cache.New(fmt.Sprintf("h%d.c%d.l1d", h, c), cfg.L1D),
+				tlb:    tlb.NewTLB(cfg.TLBEntries, cfg.TLBWays),
+				window: make([]pending, cfg.MSHRs),
 			})
 		}
 		m.hosts = append(m.hosts, hs)
 	}
 
+	// Build the family's state, its SchemeHooks, and bind the route module
+	// (DESIGN.md §11). The registry descriptor carries everything
+	// scheme-specific; nothing below names an individual scheme.
 	pages := cfg.SharedPages()
-	switch {
-	case scheme.Kernel():
+	m.family = ent.Family
+	m.asyncKernelTransfer = ent.AsyncTransfer
+	m.hintsOK = ent.Hints
+	switch ent.Family {
+	case migration.FamilyKernel:
 		m.pt = migration.NewPageTable(pages, cfg.Hosts)
 		m.tlbModel = tlb.NewModel(cfg.Kernel)
 		m.ledger = migration.NewHarmfulLedger(m.estLocalLat(), m.estCXLLat(), m.estInterLat())
-		switch scheme {
-		case migration.Nomad:
-			m.policy = migration.NewNomad(pages, cfg.Hosts)
-		case migration.Memtis:
-			m.policy = migration.NewMemtis(pages, cfg.Hosts)
-		case migration.HeMem:
-			m.policy = migration.NewHeMem(pages, cfg.Hosts)
-		case migration.OSSkew:
-			m.policy = migration.NewOSSkew(pages, cfg.Hosts, cfg.PIPM.MigrationThreshold)
-		}
-	case scheme.Hardware():
+		m.policy = ent.NewPolicy(migration.PolicyParams{
+			Pages:     pages,
+			Hosts:     cfg.Hosts,
+			Threshold: cfg.PIPM.MigrationThreshold,
+		})
+		m.kHooks = migration.NewKernelHooks(m.policy, m.pt, m.ledger)
+		m.hooks = m.kHooks
+		m.bindKernelRoutes()
+	case migration.FamilyHardware:
 		m.mgr = pipmcore.NewManager(pipmcore.Params{
 			Hosts:              cfg.Hosts,
 			SharedPages:        pages,
@@ -158,11 +192,29 @@ func New(cfg config.Config, scheme migration.Kind) (*Machine, error) {
 			GlobalCacheWays:    cfg.PIPM.GlobalRemapCacheWays,
 			LocalCacheEntries:  cfg.LocalRemapCacheEntries(),
 			LocalCacheWays:     cfg.PIPM.LocalRemapCacheWays,
-			Static:             scheme == migration.HWStatic,
+			Static:             ent.StaticMap,
 		})
+		m.hwHooks = migration.NewHardwareHooks(m.mgr, cfg.PIPM.MigrateOnExclusiveEviction)
+		m.hooks = m.hwHooks
+		m.bindHardwareRoutes()
+	case migration.FamilyLocalOnly:
+		m.hooks = migration.NopHooks{}
+		m.bindLocalOnlyRoutes()
+	default:
+		m.hooks = migration.NopHooks{}
+		m.bindNativeRoutes()
 	}
+	m.kernelTickFn = m.kernelTick
+	m.sampleFootprintFn = m.sampleFootprint
+	m.telemetryTickFn = m.telemetryTick
 	return m, nil
 }
+
+// Family returns the scheme family the machine was built for.
+func (m *Machine) Family() migration.Family { return m.family }
+
+// SchemeHooks returns the active family's hook implementation.
+func (m *Machine) SchemeHooks() migration.SchemeHooks { return m.hooks }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() config.Config { return m.cfg }
@@ -217,20 +269,23 @@ func (m *Machine) Run() error {
 	}
 	for _, hs := range m.hosts {
 		for _, c := range hs.cores {
+			// One step closure per core for the whole run: stepCore re-arms
+			// with it, so the per-quantum re-schedule never allocates.
 			c := c
-			m.eng.At(0, func() { m.stepCore(c) })
+			c.step = func() { m.stepCore(c) }
+			m.eng.At(0, c.step)
 		}
 	}
-	if m.scheme.Kernel() {
-		m.eng.At(m.cfg.Kernel.Interval, m.kernelTick)
+	if m.policy != nil {
+		m.eng.At(m.cfg.Kernel.Interval, m.kernelTickFn)
 	}
 	// Footprint sampling for every scheme, on the kernel interval cadence.
-	m.eng.At(m.cfg.Kernel.Interval/2, m.sampleFootprint)
+	m.eng.At(m.cfg.Kernel.Interval/2, m.sampleFootprintFn)
 	if m.tel != nil {
 		// Baseline snapshot at t=0 (after every core's first step, which is
 		// scheduled earlier at the same instant), then interval ticks.
 		m.eng.At(0, func() { m.tel.Snapshot(0) })
-		m.eng.At(m.telOpt.SampleInterval, m.telemetryTick)
+		m.eng.At(m.telOpt.SampleInterval, m.telemetryTickFn)
 	}
 	m.eng.Run()
 	if m.ledger != nil {
@@ -278,107 +333,6 @@ func (m *Machine) estInterLat() sim.Time {
 	return 4*perDir + m.cfg.CXL.DirLatency + m.estLocalLat() + m.llcLat
 }
 
-// kernelTick is the epoch boundary of kernel-based schemes: run the policy,
-// price the management and transfer work, and apply the page moves.
-func (m *Machine) kernelTick() {
-	if m.liveCores == 0 {
-		return
-	}
-	now := m.eng.Now()
-	budget := int(float64(m.cfg.SharedPages()) * m.cfg.Kernel.MaxLocalFrac)
-	if budget < 1 {
-		budget = 1
-	}
-	ops := m.policy.Tick(m.pt, budget)
-	if max := m.cfg.Kernel.MaxPagesPerEpoch; max > 0 && len(ops) > max {
-		ops = ops[:max]
-	}
-
-	if len(ops) > 0 {
-		costs := m.tlbModel.ForPages(len(ops))
-		// Batched TLB shootdowns stall every core in the system.
-		for _, hs := range m.hosts {
-			for _, c := range hs.cores {
-				c.pendingMgmt += costs.Remote
-			}
-		}
-		m.trc.Emit(now, costs.Remote, telemetry.EvShootdown, telemetry.DeviceHost,
-			int64(len(ops)), 0)
-		for _, op := range ops {
-			m.applyKernelOp(now, op)
-		}
-	}
-	m.eng.At(now+m.cfg.Kernel.Interval, m.kernelTick)
-}
-
-func (m *Machine) applyKernelOp(now sim.Time, op migration.Op) {
-	from := m.pt.Owner(op.Page)
-	if from == op.To {
-		return
-	}
-	base := m.amap.SharedAddr(config.Addr(op.Page) * config.PageBytes)
-	if m.vals != nil {
-		// Values move with the page; must precede the invalidations below so
-		// dirty cached copies can still be folded in.
-		m.vals.kernelMove(op.Page, from, op.To)
-	}
-
-	// All hosts drop cached lines and TLB translations of the page: its
-	// unified PA changes. Dirty data is folded into the page copy below.
-	firstLine := base.Line()
-	for _, hs := range m.hosts {
-		hs.llc.InvalidatePage(base.Page(), nil)
-		for _, c := range hs.cores {
-			c.l1.InvalidatePage(base.Page(), nil)
-			if c.tlb != nil {
-				c.tlb.Invalidate(base.Page())
-			}
-		}
-	}
-	for l := config.Addr(0); l < config.LinesPerPage; l++ {
-		m.devDir.Remove(firstLine + l)
-	}
-
-	// Price the data transfer (asynchronous: occupies DRAM and link
-	// bandwidth, contending with demand traffic, but stalls no core by
-	// itself).
-	initiator := op.To
-	if initiator == migration.ToCXL {
-		initiator = from
-	}
-	if op.To != migration.ToCXL {
-		// CXL → local: pooled read, link down to the new owner, local write.
-		t := m.cxlMem.AccessBulk(now, base, config.PageBytes, false)
-		t = m.fabric.DeviceToHostBG(t, op.To, config.PageBytes)
-		done := m.hosts[op.To].dram.AccessBulk(t, base, config.PageBytes, true)
-		m.col.Promotions++
-		m.ledger.OnMigration(op.Page, op.To)
-		m.trc.Emit(now, done-now, telemetry.EvPromote, op.To, op.Page, int64(from))
-	} else {
-		// Local → CXL: local read, link up, pooled write.
-		t := m.hosts[from].dram.AccessBulk(now, base, config.PageBytes, false)
-		t = m.fabric.HostToDeviceBG(t, from, config.PageBytes)
-		done := m.cxlMem.AccessBulk(t, base, config.PageBytes, true)
-		m.col.Demotions++
-		m.ledger.OnDemotion(op.Page)
-		m.trc.Emit(now, done-now, telemetry.EvDemote, from, op.Page, 0)
-	}
-	m.col.BytesMoved += config.PageBytes
-
-	// The initiating host additionally does the per-page kernel work
-	// (unmap, copy management, remap): a synchronous stall, spread across
-	// the host's cores (the paper applies multi-threaded, batched page
-	// transfers) — except under Nomad, whose transactional migration runs
-	// it asynchronously.
-	if m.scheme != migration.Nomad {
-		cores := m.hosts[initiator].cores
-		core := cores[int(m.col.Promotions+m.col.Demotions)%len(cores)]
-		core.pendingTransfer += m.tlbModel.InitiatorPerPage()
-	}
-
-	m.pt.Set(op.Page, op.To)
-}
-
 // sampleFootprint records each host's resident migrated pages/lines.
 func (m *Machine) sampleFootprint() {
 	if m.liveCores == 0 {
@@ -396,5 +350,5 @@ func (m *Machine) sampleFootprint() {
 		}
 		m.col.SampleFootprint(h, pages, lines)
 	}
-	m.eng.At(m.eng.Now()+m.cfg.Kernel.Interval, m.sampleFootprint)
+	m.eng.At(m.eng.Now()+m.cfg.Kernel.Interval, m.sampleFootprintFn)
 }

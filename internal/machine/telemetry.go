@@ -178,5 +178,5 @@ func (m *Machine) telemetryTick() {
 		return
 	}
 	m.tel.Snapshot(m.eng.Now())
-	m.eng.At(m.eng.Now()+m.telOpt.SampleInterval, m.telemetryTick)
+	m.eng.At(m.eng.Now()+m.telOpt.SampleInterval, m.telemetryTickFn)
 }

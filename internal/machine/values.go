@@ -70,7 +70,7 @@ func (m *Machine) EnableValueTracking(observer func(Observation)) error {
 	if m.ran {
 		return fmt.Errorf("machine: EnableValueTracking after Run")
 	}
-	if m.scheme == migration.LocalOnly {
+	if m.family == migration.FamilyLocalOnly {
 		return fmt.Errorf("machine: value tracking is undefined for the Local-only upper bound")
 	}
 	v := &valTracker{

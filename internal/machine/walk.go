@@ -1,16 +1,40 @@
 package machine
 
 import (
+	"math/bits"
+
 	"pipm/internal/cache"
 	"pipm/internal/coherence"
 	"pipm/internal/config"
-	pipmcore "pipm/internal/core"
 	"pipm/internal/migration"
 	"pipm/internal/sim"
 	"pipm/internal/stats"
-	"pipm/internal/telemetry"
 	"pipm/internal/trace"
 )
+
+// This file is the invariant memory path (DESIGN.md §11): the L1 → LLC →
+// device-directory → DRAM/CXL hierarchy walk, the coherent CXL serve, the
+// fill/eviction plumbing and the directory helpers. It never names a
+// scheme. Scheme behavior enters through three route functions — bound once
+// at build time to one of the per-family route modules (route_kernel.go,
+// route_hw.go, route_localonly.go, or the native defaults below) — which in
+// turn consult the family's migration.SchemeHooks:
+//
+//	routeShared  classifies a shared access before any cache probe
+//	missShared   routes an LLC miss that became memory-visible
+//	evictShared  picks the destination of a shared LLC victim
+//
+// Everything here must stay allocation-free: it runs once per trace record
+// (BenchmarkAccessPath pins 0 allocs/op).
+
+// bindNativeRoutes wires the scheme-free defaults: every shared access is
+// plain cacheable CXL traffic.
+func (m *Machine) bindNativeRoutes() {
+	m.routeShared = m.cacheableSharedAt
+	m.missShared = m.missSharedCXL
+	m.evictShared = m.evictSharedCXL
+	m.auditShared = true
+}
 
 // access services one memory reference issued at time t by core c. It
 // returns the completion time and the class the access was served from.
@@ -29,36 +53,11 @@ func (m *Machine) access(t sim.Time, c *coreState, rec trace.Record) (sim.Time, 
 	}
 
 	page := m.amap.SharedPageIndex(rec.Addr)
-	h := c.host.id
 
-	if m.audit && m.scheme != migration.LocalOnly {
-		// Local-only has no cross-host sharing semantics (every host's view
-		// is private by construction), so the coherence audit doesn't apply.
+	if m.audit && m.auditShared {
 		defer m.auditLine(rec.Addr.Line())
 	}
-
-	switch {
-	case m.scheme == migration.LocalOnly:
-		// Upper bound: shared data behaves as if it were local DRAM.
-		done, class := m.privateAccess(t, c, rec)
-		if class == stats.ClassLocalPrivate {
-			class = stats.ClassLocalShared
-		}
-		m.col.Host(h).Served[class]++
-		return done, class
-	case m.scheme.Kernel():
-		// Kernel policies observe the full access stream (PEBS samples and
-		// NUMA-hinting faults see loads regardless of cache state), not
-		// just LLC misses.
-		m.policy.RecordAccess(h, page, rec.Write)
-		if owner := m.pt.Owner(page); owner != migration.ToCXL && owner != h {
-			// The page's unified PA points into another host's GIM window:
-			// non-cacheable 4-hop access (Fig. 3 ①–⑤).
-			m.ledger.OnAccess(page, h)
-			return m.gimRemoteAccess(t, c, rec, owner)
-		}
-	}
-	return m.cacheableSharedAt(t, c, rec, page)
+	return m.routeShared(t, c, rec, page)
 }
 
 // privateAccess is the host-local path: L1 → LLC → local DRAM, no CXL.
@@ -109,9 +108,9 @@ func (m *Machine) privateAccess(t sim.Time, c *coreState, rec trace.Record) (sim
 	return done, stats.ClassLocalPrivate
 }
 
-// cacheableSharedAt is every cacheable shared-data path: Native's CXL-only
-// flow, kernel schemes when the page is unmigrated or migrated to the
-// requester, and the full PIPM/HW-static line-granularity flow.
+// cacheableSharedAt is every cacheable shared-data path: the L1 and LLC
+// probes are scheme-invariant; an LLC miss becomes memory-visible and is
+// routed by the bound scheme family.
 func (m *Machine) cacheableSharedAt(t sim.Time, c *coreState, rec trace.Record, page int64) (sim.Time, stats.Class) {
 	h := c.host
 	line := rec.Addr.Line()
@@ -152,155 +151,30 @@ func (m *Machine) cacheableSharedAt(t sim.Time, c *coreState, rec trace.Record, 
 		return tL, stats.ClassLLCHit
 	}
 
-	// LLC miss: the access becomes memory-visible — score it for the
-	// harmful-migration ledger (owner-side benefit is cache-filtered).
-	if m.ledger != nil {
-		m.ledger.OnAccess(page, h.id)
-	}
+	// LLC miss: the access is memory-visible — the scheme family decides
+	// where it is served from.
+	return m.missShared(tL, c, rec, page)
+}
 
-	// Kernel scheme with the page migrated to this host: local DRAM.
-	if m.pt != nil && m.pt.Owner(page) == h.id {
-		done := h.dram.Access(tL, rec.Addr, false)
-		fillSt := cache.Exclusive
-		if rec.Write {
-			fillSt = cache.Modified
-		}
-		m.fillLLC(c, line, fillSt)
-		m.fillL1(c, line, fillSt)
-		if m.vals != nil {
-			m.vals.serve(c, line, rec.Write, srcLocal, h.id)
-		}
-		st.Served[stats.ClassLocalShared]++
-		return done, stats.ClassLocalShared
-	}
-
-	// PIPM/HW-static: consult the local remapping structures first (the
-	// I vs I' resolution of §4.3: every shared LLC miss performs a local
-	// remapping table lookup).
-	if m.mgr != nil {
-		entry, cacheHit := m.mgr.LocalLookup(h.id, page)
-		tR := tL + m.cfg.PIPM.LocalRemapLatency
-		if !cacheHit {
-			// Walk the in-memory two-level table: one leaf read from local
-			// DRAM (the pinned root is free, §4.4).
-			tR = h.dram.Access(tR, m.remapTableAddr(h.id, page), false)
-		}
-		if entry != nil {
-			m.mgr.OwnerAccess(h.id, page)
-			if entry.Bitmap&(1<<uint(rec.Addr.LineInPage())) != 0 {
-				// I' → ME (case ③): served from local DRAM, no CXL traffic.
-				done := h.dram.Access(tR, m.localMigratedAddr(h.id, entry, rec.Addr), false)
-				m.fillLLC(c, line, cache.MigratedExclusive)
-				m.fillL1(c, line, cache.MigratedExclusive)
-				if m.vals != nil {
-					m.vals.serve(c, line, rec.Write, srcLocal, h.id)
-				}
-				st.Served[stats.ClassLocalShared]++
-				return done, stats.ClassLocalShared
-			}
-		}
-		return m.pipmDeviceAccess(tR, c, rec, page)
-	}
-
-	// Native / kernel-unmigrated: plain coherent CXL access.
+// missSharedCXL is the scheme-free LLC-miss route: plain coherent CXL.
+func (m *Machine) missSharedCXL(tL sim.Time, c *coreState, rec trace.Record, page int64) (sim.Time, stats.Class) {
 	return m.cxlServe(tL, c, rec)
 }
 
-// pipmDeviceAccess is the PIPM/HW-static device-side flow: the global
-// remapping lookup, the majority vote, and — when the line is migrated to
-// another host — the forwarded inter-host fetch with incremental migration
-// back to CXL (cases ②⑤⑥ of Fig. 9).
-func (m *Machine) pipmDeviceAccess(t sim.Time, c *coreState, rec trace.Record, page int64) (sim.Time, stats.Class) {
-	h := c.host
-	st := m.col.Host(h.id)
-
-	out := m.mgr.DeviceAccess(h.id, page)
-	// The global remapping lookup happens on the device, in parallel with
-	// the directory lookup; a cache miss adds an in-memory table read.
-	extra := m.cfg.PIPM.GlobalRemapLatency
-	if !out.GCacheHit {
-		extra += m.cxlAccessTime(t, m.remapGlobalAddr(page))
-	}
-
-	if out.Promoted {
-		m.trc.Emit(t, 0, telemetry.EvPromote, out.Owner, page, int64(h.id))
-	}
-	if out.Revoked {
-		m.applyRevocation(t, page, out)
-	}
-
-	if g := out.Owner; g != pipmcore.NoHost && g != h.id && m.mgr.LineMigrated(g, page, rec.Addr.LineInPage()) {
-		// The line's latest copy lives in host g's local DRAM (I'/ME).
-		done := m.forwardedFetch(t+extra, c, rec, page, g)
-		st.Served[stats.ClassInterHost]++
-		return done, stats.ClassInterHost
-	}
-
-	return m.cxlServe(t+extra, c, rec)
-}
-
-// forwardedFetch prices the inter-host path to a migrated line: requester →
-// device → owner (local remap + DRAM or cache) → device → requester, with
-// the line demoted back to CXL memory and an asynchronous writeback.
-func (m *Machine) forwardedFetch(t sim.Time, c *coreState, rec trace.Record, page int64, g int) sim.Time {
+// localSharedFill serves a memory-visible shared access from the host's
+// local DRAM at addr (the access address for whole-page migration, the
+// remapped frame for partial migration) and installs the block as fillSt.
+func (m *Machine) localSharedFill(t sim.Time, c *coreState, rec trace.Record, addr config.Addr, fillSt cache.State) (sim.Time, stats.Class) {
 	h := c.host
 	line := rec.Addr.Line()
-	owner := m.hosts[g]
-
-	lat := (m.fabric.HostToDevice(t, h.id, 0) - t) +
-		(m.fabric.DirLookup(t, line) - t) +
-		(m.fabric.DeviceToHost(t, g, 0) - t)
-
-	// Owner side: if the block is cached (ME), it comes from the LLC and
-	// the copy downgrades (⑥ Inter-Rd: ME→S) or invalidates (⑤ Inter-Wr);
-	// otherwise (I') it is read from local DRAM with a remap-table lookup.
-	ownSt, ownCached := owner.llc.Peek(line)
+	done := h.dram.Access(t, addr, false)
+	m.fillLLC(c, line, fillSt)
+	m.fillL1(c, line, fillSt)
 	if m.vals != nil {
-		m.vals.forwardServe(c, line, rec.Write, ownCached && ownSt == cache.MigratedExclusive, g)
+		m.vals.serve(c, line, rec.Write, srcLocal, h.id)
 	}
-	if ownCached && ownSt == cache.MigratedExclusive {
-		lat += m.llcLat
-		if rec.Write {
-			m.invalidateLineEverywhere(owner, line)
-		} else {
-			owner.llc.SetState(line, cache.Shared)
-			for _, oc := range owner.cores {
-				oc.l1.SetState(line, cache.Shared)
-			}
-		}
-	} else {
-		lat += m.cfg.PIPM.LocalRemapLatency
-		entry, _ := m.mgr.LocalLookup(g, page)
-		if entry != nil {
-			lat += owner.dram.Access(t, m.localMigratedAddr(g, entry, rec.Addr), false) - t
-		} else {
-			lat += owner.dram.Access(t, rec.Addr, false) - t
-		}
-	}
-
-	// Migrate back: clear the bit, asynchronously write the block to CXL
-	// memory, and let the device directory track the requester's copy.
-	m.mgr.DemoteLine(g, page, rec.Addr.LineInPage())
-	m.trc.Emit(t, 0, telemetry.EvLineDemote, g, page, int64(rec.Addr.LineInPage()))
-	lat += m.fabric.HostToDevice(t, g, cxlDataBytes) - t
-	m.cxlMem.Access(t, rec.Addr, true) // async in-memory update
-
-	if rec.Write {
-		m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
-		m.fillLLC(c, line, cache.Modified)
-		m.fillL1(c, line, cache.Modified)
-	} else {
-		sharers := uint32(1) << uint(h.id)
-		if _, cached := owner.llc.Peek(line); cached {
-			sharers |= 1 << uint(g)
-		}
-		m.installDirEntry(line, coherence.Entry{State: coherence.DirShared, Sharers: sharers})
-		m.fillLLC(c, line, cache.Shared)
-		m.fillL1(c, line, cache.Shared)
-	}
-	done := t + lat + (m.fabric.DeviceToHost(t, h.id, cxlDataBytes) - t)
-	m.trc.Emit(t, done-t, telemetry.EvInterFetch, h.id, page, int64(g))
-	return done
+	m.col.Host(h.id).Served[stats.ClassLocalShared]++
+	return done, stats.ClassLocalShared
 }
 
 const cxlDataBytes = config.LineBytes
@@ -350,15 +224,18 @@ func (m *Machine) cxlServe(t sim.Time, c *coreState, rec trace.Record) (sim.Time
 		if rec.Write {
 			// Invalidate every other sharer before granting ownership; the
 			// invalidation round-trips overlap, so charge the slowest.
+			// (Explicit bit iteration: a ForEachSharer closure would
+			// capture locals and allocate on the hot path.)
 			var inv sim.Time
-			coherence.ForEachSharer(e.Sharers, func(g int) {
+			for sh := e.Sharers; sh != 0; sh &= sh - 1 {
+				g := bits.TrailingZeros32(sh)
 				if g == h.id {
-					return
+					continue
 				}
 				ack := (m.fabric.DeviceToHost(t, g, 0) - t) + (m.fabric.HostToDevice(t, g, 0) - t)
 				inv = sim.Max(inv, ack)
 				m.invalidateLineEverywhere(m.hosts[g], line)
-			})
+			}
 			dataLat = inv + (m.cxlMem.Access(t, rec.Addr, false) - t)
 			m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
 			fillSt = cache.Modified
@@ -417,14 +294,15 @@ func (m *Machine) writeUpgrade(t sim.Time, c *coreState, rec trace.Record) (sim.
 	lat := (m.fabric.HostToDevice(t, h.id, 0) - t) + (m.fabric.DirLookup(t, line) - t)
 	if e, ok := m.devDir.Lookup(line); ok && e.State == coherence.DirShared {
 		var inv sim.Time
-		coherence.ForEachSharer(e.Sharers, func(g int) {
+		for sh := e.Sharers; sh != 0; sh &= sh - 1 {
+			g := bits.TrailingZeros32(sh)
 			if g == h.id {
-				return
+				continue
 			}
 			ack := (m.fabric.DeviceToHost(t, g, 0) - t) + (m.fabric.HostToDevice(t, g, 0) - t)
 			inv = sim.Max(inv, ack)
 			m.invalidateLineEverywhere(m.hosts[g], line)
-		})
+		}
 		lat += inv
 	}
 	done := t + lat + (m.fabric.DeviceToHost(t, h.id, 0) - t)
@@ -437,42 +315,6 @@ func (m *Machine) writeUpgrade(t sim.Time, c *coreState, rec trace.Record) (sim.
 	}
 	m.col.Host(h.id).Served[stats.ClassCXL]++
 	return done, stats.ClassCXL
-}
-
-// gimRemoteAccess is the non-cacheable 4-hop path to a page migrated into
-// another host's local memory under a kernel scheme (Fig. 3 ①–⑤): no
-// caching at the requester, every reference pays the full traversal.
-func (m *Machine) gimRemoteAccess(t sim.Time, c *coreState, rec trace.Record, g int) (sim.Time, stats.Class) {
-	h := c.host
-	line := rec.Addr.Line()
-	owner := m.hosts[g]
-
-	reqBytes, respBytes := 0, cxlDataBytes
-	if rec.Write {
-		reqBytes, respBytes = cxlDataBytes, 0
-	}
-	lat := (m.fabric.HostToDevice(t, h.id, reqBytes) - t) +
-		(m.fabric.DeviceToHost(t, g, reqBytes) - t) + m.llcLat
-
-	// Owning host's local coherence directory (Fig. 3 ③): the LLC may hold
-	// the freshest copy.
-	_, ownerCached := owner.llc.Peek(line)
-	if m.vals != nil {
-		m.vals.gimServe(c, line, rec.Write, g, ownerCached)
-	}
-	if ownerCached {
-		if rec.Write {
-			m.invalidateLineEverywhere(owner, line)
-			owner.dram.Access(t, rec.Addr, true) // async local update
-		}
-	} else {
-		lat += owner.dram.Access(t, rec.Addr, rec.Write) - t
-	}
-
-	lat += (m.fabric.HostToDevice(t, g, respBytes) - t) +
-		(m.fabric.DeviceToHost(t, h.id, respBytes) - t)
-	m.col.Host(h.id).Served[stats.ClassInterHost]++
-	return t + lat, stats.ClassInterHost
 }
 
 // ----------------------------------------------------------- fill paths --
@@ -489,7 +331,7 @@ func (m *Machine) fillL1(c *coreState, line config.Addr, st cache.State) {
 }
 
 // fillLLC installs a line in the host's LLC, handling the displaced victim:
-// this is where PIPM's incremental migration happens (case ① of Fig. 9).
+// for the hardware family this is where incremental migration happens.
 func (m *Machine) fillLLC(c *coreState, line config.Addr, st cache.State) {
 	h := c.host
 	ev, evicted := h.llc.Fill(line, st)
@@ -499,6 +341,9 @@ func (m *Machine) fillLLC(c *coreState, line config.Addr, st cache.State) {
 	m.handleLLCEviction(h, ev)
 }
 
+// handleLLCEviction is the scheme-invariant eviction frame: fold L1 copies
+// into the victim state, then write private data locally and hand shared
+// victims to the bound scheme family.
 func (m *Machine) handleLLCEviction(h *host, ev cache.Eviction) {
 	// Inclusion: the victim leaves every L1 too; a dirty L1 copy upgrades
 	// the victim state.
@@ -513,78 +358,50 @@ func (m *Machine) handleLLCEviction(h *host, ev cache.Eviction) {
 	region, _ := m.amap.Region(addr)
 	now := m.eng.Now()
 
-	if region != config.RegionShared || m.scheme == migration.LocalOnly {
-		// Private data — or the Local-only upper bound, whose "shared" data
-		// is backed by local DRAM too.
-		if vState.Dirty() {
-			if m.vals != nil {
-				m.vals.wbToLocal(h.id, ev.Line)
-			}
-			h.dram.Access(now, addr, true) // async writeback
-		}
+	if region != config.RegionShared {
+		m.evictLocalWB(h, now, addr, ev.Line, vState)
 		return
 	}
+	m.evictShared(h, now, m.amap.SharedPageIndex(addr), addr, ev.Line, vState)
+}
 
-	page := m.amap.SharedPageIndex(addr)
-
-	// ME eviction (case ④): dirty data returns to local DRAM only.
-	if vState == cache.MigratedExclusive {
-		entry, _ := m.mgr.LocalLookup(h.id, page)
-		if entry != nil {
-			if m.vals != nil {
-				m.vals.wbToLocal(h.id, ev.Line)
-			}
-			h.dram.Access(now, m.localMigratedAddr(h.id, entry, addr), true)
-		}
-		return
-	}
-
-	// Kernel scheme with the page migrated here: plain local writeback.
-	if m.pt != nil && m.pt.Owner(page) == h.id {
-		if vState.Dirty() {
-			if m.vals != nil {
-				m.vals.wbToLocal(h.id, ev.Line)
-			}
-			h.dram.Access(now, addr, true)
-		}
-		return
-	}
-
-	// PIPM incremental migration (case ①): an M — or, with the E extension,
-	// E — eviction of a block whose page is partially migrated to this host
-	// writes the block to local DRAM and flips the in-memory bits instead
-	// of writing back to CXL.
-	if m.mgr != nil {
-		if m.mgr.Owner(page) == h.id &&
-			(vState == cache.Modified || (vState == cache.Exclusive && m.cfg.PIPM.MigrateOnExclusiveEviction)) {
-			entry, _ := m.mgr.LocalLookup(h.id, page)
-			if entry != nil && m.mgr.MigrateLine(h.id, page, int(ev.Line)&(config.LinesPerPage-1)) {
-				if m.vals != nil {
-					m.vals.wbToLocal(h.id, ev.Line)
-				}
-				m.trc.Emit(now, 0, telemetry.EvLineMigrate, h.id, page,
-					int64(int(ev.Line)&(config.LinesPerPage-1)))
-				h.dram.Access(now, m.localMigratedAddr(h.id, entry, addr), true)
-				// The CXL-side in-memory bit flips too, but it lives in ECC
-				// spare bits and piggybacks on subsequent accesses (§4.3.2
-				// footnote) — a background header is the only traffic.
-				m.fabric.HostToDeviceBG(now, h.id, 0)
-				m.devDir.Remove(ev.Line)
-				return
-			}
-		}
-	}
-
-	// Ordinary CXL writeback / silent clean eviction.
+// evictLocalWB writes a dirty victim back to the host's local DRAM
+// (private data, locally-resident pages, the Local-only upper bound).
+func (m *Machine) evictLocalWB(h *host, now sim.Time, addr, line config.Addr, vState cache.State) {
 	if vState.Dirty() {
 		if m.vals != nil {
-			m.vals.wbToCXL(h.id, ev.Line)
+			m.vals.wbToLocal(h.id, line)
+		}
+		h.dram.Access(now, addr, true) // async writeback
+	}
+}
+
+// evictSharedCXL is the scheme-free shared eviction: dirty data writes back
+// to CXL memory; clean copies silently leave the directory.
+func (m *Machine) evictSharedCXL(h *host, now sim.Time, page int64, addr, line config.Addr, vState cache.State) {
+	if vState.Dirty() {
+		if m.vals != nil {
+			m.vals.wbToCXL(h.id, line)
 		}
 		t := m.fabric.HostToDeviceBG(now, h.id, cxlDataBytes)
 		m.cxlMem.Access(t, addr, true)
-		m.devDir.Remove(ev.Line)
+		m.devDir.Remove(line)
 	} else {
-		m.devDir.RemoveSharer(ev.Line, h.id)
+		m.devDir.RemoveSharer(line, h.id)
+	}
+}
+
+// evictStateOf maps a folded victim state to the hooks' abstraction.
+func evictStateOf(st cache.State) migration.EvictState {
+	switch st {
+	case cache.MigratedExclusive:
+		return migration.EvictMigrated
+	case cache.Modified:
+		return migration.EvictDirty
+	case cache.Exclusive:
+		return migration.EvictCleanExclusive
+	default:
+		return migration.EvictClean
 	}
 }
 
@@ -609,9 +426,9 @@ func (m *Machine) installDirEntry(line config.Addr, e coherence.Entry) {
 		t := m.fabric.HostToDeviceBG(now, g, cxlDataBytes)
 		m.cxlMem.Access(t, bi.Line<<config.LineShift, true)
 	case coherence.DirShared:
-		coherence.ForEachSharer(bi.Entry.Sharers, func(g int) {
-			m.invalidateLineEverywhere(m.hosts[g], bi.Line)
-		})
+		for sh := bi.Entry.Sharers; sh != 0; sh &= sh - 1 {
+			m.invalidateLineEverywhere(m.hosts[bits.TrailingZeros32(sh)], bi.Line)
+		}
 	}
 }
 
@@ -638,66 +455,4 @@ func (m *Machine) invalidateOtherL1s(h *host, c *coreState, line config.Addr) {
 			oc.l1.Invalidate(line)
 		}
 	}
-}
-
-// applyRevocation prices a partial-migration revocation (§4.2 ⑥): every
-// migrated block of the page moves from the old owner's local DRAM back to
-// its original CXL location, and the owner's cached ME blocks drop.
-func (m *Machine) applyRevocation(t sim.Time, page int64, out pipmcore.Outcome) {
-	g := out.RevokedFrom
-	owner := m.hosts[g]
-	base := m.amap.SharedAddr(config.Addr(page) * config.PageBytes)
-	if m.vals != nil {
-		m.vals.revoke(page, g, out.RevokedBitmap)
-	}
-	m.trc.Emit(t, 0, telemetry.EvRevoke, g, page, int64(out.RevokedLines))
-	// Dropped cache lines leave the device directory too; dirty copies —
-	// CXL-backed M and cached ME alike — write back to CXL memory: the
-	// page's remapping is gone, so local DRAM can no longer hold them.
-	owner.llc.InvalidatePage(base.Page(), func(l config.Addr, st cache.State) {
-		if st.Dirty() {
-			wb := m.fabric.HostToDeviceBG(t, g, cxlDataBytes)
-			m.cxlMem.Access(wb, l<<config.LineShift, true)
-		}
-		m.devDir.RemoveSharer(l, g)
-	})
-	for _, oc := range owner.cores {
-		oc.l1.InvalidatePage(base.Page(), nil)
-	}
-	if out.RevokedLines == 0 {
-		return
-	}
-	bytes := out.RevokedLines * config.LineBytes
-	tt := owner.dram.AccessBulk(t, base, bytes, false)
-	tt = m.fabric.HostToDeviceBG(tt, g, bytes)
-	m.cxlMem.AccessBulk(tt, base, bytes, true)
-	m.col.BytesMoved += uint64(bytes)
-}
-
-// localMigratedAddr maps a migrated block to an address in the owner's
-// local DRAM window, derived from the allocated local PFN so bank mapping
-// behaves like real placement.
-func (m *Machine) localMigratedAddr(h int, entry *pipmcore.LocalEntry, addr config.Addr) config.Addr {
-	off := (config.Addr(entry.PFN)*config.PageBytes + config.Addr(addr)&(config.PageBytes-1)) %
-		config.Addr(m.cfg.LocalDRAM.CapacityBytes)
-	return m.amap.PrivateAddr(h, off)
-}
-
-// remapTableAddr locates a page's local remapping leaf entry in the owner's
-// local DRAM for table-walk pricing.
-func (m *Machine) remapTableAddr(h int, page int64) config.Addr {
-	off := config.Addr(page*4) % config.Addr(m.cfg.LocalDRAM.CapacityBytes)
-	return m.amap.PrivateAddr(h, off)
-}
-
-// remapGlobalAddr locates a page's global remapping entry in CXL memory.
-func (m *Machine) remapGlobalAddr(page int64) config.Addr {
-	return m.amap.SharedAddr(config.Addr(page*2) % m.amap.SharedBytes())
-}
-
-// cxlAccessTime prices a single metadata access to CXL DRAM from the
-// device side (no link traversal: the global remapping cache and table both
-// live on the memory node), measured from the walk's current time t.
-func (m *Machine) cxlAccessTime(t sim.Time, addr config.Addr) sim.Time {
-	return m.cxlMem.Access(t, addr, false) - t
 }

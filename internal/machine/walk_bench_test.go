@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"testing"
+
+	"pipm/internal/config"
+	"pipm/internal/migration"
+	"pipm/internal/sim"
+	"pipm/internal/trace"
+)
+
+// BenchmarkAccessPath measures the bare hierarchy walk — m.access with the
+// family's route module bound — one sub-benchmark per scheme family. This is
+// the allocation guard for the DESIGN.md §11 refactor: every sub-benchmark
+// must report 0 allocs/op (-benchmem), since one alloc per access dominates
+// the simulator's throughput at scale. End-to-end wall-clock lives in the
+// root bench_test.go; this one isolates the walk from trace generation and
+// the event engine.
+func BenchmarkAccessPath(b *testing.B) {
+	for _, k := range []migration.Kind{
+		migration.Native,    // FamilyNative
+		migration.Memtis,    // FamilyKernel
+		migration.PIPM,      // FamilyHardware
+		migration.LocalOnly, // FamilyLocalOnly
+	} {
+		b.Run(k.String(), func(b *testing.B) { benchAccessPath(b, k) })
+	}
+}
+
+func benchAccessPath(b *testing.B, k migration.Kind) {
+	m, err := New(testCfg(), k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := m.hosts[0].cores[0]
+	am := m.AddressMap()
+	cfg := m.Config()
+	pages := cfg.SharedPages()
+
+	// A fixed record mix built outside the timer: 3 shared references (reads
+	// and writes striding pages and lines, so LLC misses, evictions, device
+	// flows, and migrations all fire) to 1 private reference.
+	recs := make([]trace.Record, 4096)
+	for i := range recs {
+		if i%4 == 3 {
+			recs[i] = trace.Record{Addr: am.PrivateAddr(0, config.Addr(i*config.LineBytes)%(1<<20))}
+			continue
+		}
+		page := int64(i*7) % pages
+		line := (i * 3) % config.LinesPerPage
+		recs[i] = trace.Record{
+			Addr:  am.SharedAddr(config.Addr(page)*config.PageBytes + config.Addr(line*config.LineBytes)),
+			Write: i%5 == 0,
+		}
+	}
+
+	var t sim.Time
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done, _ := m.access(t, c, recs[i%len(recs)])
+		if done > t {
+			t = done
+		}
+	}
+}

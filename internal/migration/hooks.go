@@ -1,0 +1,261 @@
+package migration
+
+import (
+	pipmcore "pipm/internal/core"
+)
+
+// SchemeHooks is the contract between the invariant hierarchy walk in
+// internal/machine and a scheme family. The walk (L1 → LLC → directory →
+// DRAM/CXL) never names a scheme; it consults these five hook points, bound
+// once at Machine build time, whenever a shared access needs a placement
+// decision. Implementations are thin adapters over the family's state
+// (kernel page table + policy, or the PIPM remapping manager) and must be
+// allocation-free on every path: they run on the simulator's hottest loop.
+//
+// Call-sequence discipline: several hook implementations bump stat counters
+// as a side effect (the local remap cache counts every LocalLookup, the
+// harmful-migration ledger scores every memory-visible access). The walk
+// therefore calls each hook exactly once per decision point, and hooks
+// return everything the walk needs (route, PFN, table-walk flag) so no
+// second lookup is ever required — otherwise hit-rate metrics would drift.
+type SchemeHooks interface {
+	// RouteShared classifies a shared access before any cache probe:
+	// cacheable (walk the hierarchy), or remote (the page's unified PA
+	// points into another host's GIM window — non-cacheable 4-hop).
+	RouteShared(host int, page int64, write bool) RouteDecision
+
+	// OnAccessObserved feeds policies that watch the full access stream
+	// (PEBS samples and NUMA-hinting faults see loads regardless of cache
+	// state), called once per shared access before routing.
+	OnAccessObserved(host int, page int64, write bool)
+
+	// OnFill routes a shared access that missed the LLC and became
+	// memory-visible: local DRAM (migrated page or line) or the coherent
+	// CXL/device path.
+	OnFill(host int, page int64, lineInPage int) FillDecision
+
+	// OnEvict decides the destination of a shared LLC victim and performs
+	// the family's state transition (e.g. PIPM's incremental line
+	// migration flips in-memory bits here).
+	OnEvict(host int, page int64, lineInPage int, st EvictState) EvictDecision
+
+	// OnWriteback records that a migrated block's freshest data returned to
+	// CXL memory (the migrate-back half of a forwarded inter-host fetch);
+	// the hardware family clears the line's migrated bit.
+	OnWriteback(host int, page int64, lineInPage int)
+}
+
+// RouteKind is RouteShared's verdict.
+type RouteKind uint8
+
+const (
+	// RouteCacheable: walk the cache hierarchy as usual.
+	RouteCacheable RouteKind = iota
+	// RouteRemote: non-cacheable 4-hop access to the owning host's memory.
+	RouteRemote
+)
+
+// RouteDecision routes one shared access before the cache walk.
+type RouteDecision struct {
+	Kind  RouteKind
+	Owner int // owning host, RouteRemote only
+}
+
+// FillKind is OnFill's verdict.
+type FillKind uint8
+
+const (
+	// FillCXL: serve through the coherent CXL/device-directory path.
+	FillCXL FillKind = iota
+	// FillLocalPage: the whole page is resident in the requester's local
+	// DRAM (kernel migration); serve at the access address.
+	FillLocalPage
+	// FillLocalLine: the line is partially migrated to the requester
+	// (I' → ME); serve from local DRAM at the remapped PFN.
+	FillLocalLine
+	// FillDevice: consult the device (global remapping lookup + vote).
+	FillDevice
+)
+
+// FillDecision routes an LLC-missing shared access.
+type FillDecision struct {
+	Kind FillKind
+	// TableWalk is set when the local remapping cache missed and the walk
+	// must price one in-memory leaf read (FillLocalLine/FillDevice).
+	TableWalk bool
+	// PFN is the local page frame backing the block (FillLocalLine only).
+	PFN int64
+}
+
+// EvictState abstracts the victim's coherence state for OnEvict.
+type EvictState uint8
+
+const (
+	// EvictClean: Shared (or Invalid-folded) victim, no data to write.
+	EvictClean EvictState = iota
+	// EvictCleanExclusive: Exclusive victim — clean, but a candidate for
+	// migration under the E-eviction extension.
+	EvictCleanExclusive
+	// EvictDirty: Modified victim with CXL-backed data.
+	EvictDirty
+	// EvictMigrated: MigratedExclusive victim; dirty data is locally backed.
+	EvictMigrated
+)
+
+// Dirty reports whether the victim carries data that must be written.
+func (s EvictState) Dirty() bool { return s == EvictDirty || s == EvictMigrated }
+
+// EvictKind is OnEvict's verdict.
+type EvictKind uint8
+
+const (
+	// EvictCXL: ordinary writeback to CXL memory (or silent clean drop).
+	EvictCXL EvictKind = iota
+	// EvictLocalPage: the page lives in this host's DRAM; write locally.
+	EvictLocalPage
+	// EvictLocalLine: ME victim returns to its remapped local frame.
+	EvictLocalLine
+	// EvictAbsorb: the family absorbed the eviction as an incremental
+	// migration (PIPM case ①): write locally, flip bits, drop from the
+	// device directory.
+	EvictAbsorb
+	// EvictNone: no writeback anywhere (ME victim whose remapping vanished).
+	EvictNone
+)
+
+// EvictDecision is the destination of a shared LLC victim.
+type EvictDecision struct {
+	Kind EvictKind
+	// PFN is the local frame backing the block (EvictLocalLine/EvictAbsorb).
+	PFN int64
+}
+
+// Compile-time checks: one SchemeHooks implementation per family.
+var (
+	_ SchemeHooks = NopHooks{}
+	_ SchemeHooks = (*KernelHooks)(nil)
+	_ SchemeHooks = (*HardwareHooks)(nil)
+)
+
+// NopHooks is the identity implementation: every shared access is plain
+// cacheable CXL traffic and evictions write back to CXL. It serves the
+// Native family directly, the Local-only family (whose route module
+// short-circuits to the private path before any hook fires), and as the
+// embedded default for families that only override some hooks.
+type NopHooks struct{}
+
+func (NopHooks) RouteShared(host int, page int64, write bool) RouteDecision {
+	return RouteDecision{Kind: RouteCacheable}
+}
+func (NopHooks) OnAccessObserved(host int, page int64, write bool) {}
+func (NopHooks) OnFill(host int, page int64, lineInPage int) FillDecision {
+	return FillDecision{Kind: FillCXL}
+}
+func (NopHooks) OnEvict(host int, page int64, lineInPage int, st EvictState) EvictDecision {
+	return EvictDecision{Kind: EvictCXL}
+}
+func (NopHooks) OnWriteback(host int, page int64, lineInPage int) {}
+
+// KernelHooks adapts the kernel family's state — the epoch policy, the
+// whole-page table, and the harmful-migration ledger — to the walk.
+type KernelHooks struct {
+	NopHooks
+	policy Policy
+	pt     *PageTable
+	ledger *HarmfulLedger
+}
+
+// NewKernelHooks wraps the kernel-family state built by the machine. The
+// machine retains its own references for epoch ticks and footprint
+// sampling; the hooks cover only the per-access decision points.
+func NewKernelHooks(policy Policy, pt *PageTable, ledger *HarmfulLedger) *KernelHooks {
+	return &KernelHooks{policy: policy, pt: pt, ledger: ledger}
+}
+
+func (k *KernelHooks) RouteShared(host int, page int64, write bool) RouteDecision {
+	if owner := k.pt.Owner(page); owner != ToCXL && owner != host {
+		// Remote page: memory-visible by definition — score it for the
+		// harmful-migration ledger before the 4-hop traversal.
+		k.ledger.OnAccess(page, host)
+		return RouteDecision{Kind: RouteRemote, Owner: owner}
+	}
+	return RouteDecision{Kind: RouteCacheable}
+}
+
+func (k *KernelHooks) OnAccessObserved(host int, page int64, write bool) {
+	k.policy.RecordAccess(host, page, write)
+}
+
+func (k *KernelHooks) OnFill(host int, page int64, lineInPage int) FillDecision {
+	// The access became memory-visible: score it (owner-side benefit is
+	// cache-filtered, so this is the granularity the ledger wants).
+	k.ledger.OnAccess(page, host)
+	if k.pt.Owner(page) == host {
+		return FillDecision{Kind: FillLocalPage}
+	}
+	return FillDecision{Kind: FillCXL}
+}
+
+func (k *KernelHooks) OnEvict(host int, page int64, lineInPage int, st EvictState) EvictDecision {
+	if k.pt.Owner(page) == host {
+		return EvictDecision{Kind: EvictLocalPage}
+	}
+	return EvictDecision{Kind: EvictCXL}
+}
+
+// HardwareHooks adapts the PIPM hardware (internal/core's remapping tables,
+// caches and vote) to the walk.
+type HardwareHooks struct {
+	NopHooks
+	mgr *pipmcore.Manager
+	// migrateOnE enables the E-extension: clean Exclusive evictions of
+	// owned pages also migrate incrementally.
+	migrateOnE bool
+}
+
+// NewHardwareHooks wraps the hardware manager built by the machine.
+func NewHardwareHooks(mgr *pipmcore.Manager, migrateOnE bool) *HardwareHooks {
+	return &HardwareHooks{mgr: mgr, migrateOnE: migrateOnE}
+}
+
+func (hw *HardwareHooks) OnFill(host int, page int64, lineInPage int) FillDecision {
+	// §4.3's I vs I' resolution: every shared LLC miss performs one local
+	// remapping lookup; the cache-hit flag prices the optional table walk.
+	entry, cacheHit := hw.mgr.LocalLookup(host, page)
+	d := FillDecision{Kind: FillDevice, TableWalk: !cacheHit}
+	if entry != nil {
+		hw.mgr.OwnerAccess(host, page)
+		if entry.Bitmap&(1<<uint(lineInPage)) != 0 {
+			// I' → ME (case ③): the block is in local DRAM.
+			d.Kind = FillLocalLine
+			d.PFN = int64(entry.PFN)
+		}
+	}
+	return d
+}
+
+func (hw *HardwareHooks) OnEvict(host int, page int64, lineInPage int, st EvictState) EvictDecision {
+	switch {
+	case st == EvictMigrated:
+		// ME eviction (case ④): dirty data returns to local DRAM only — or
+		// nowhere, if a concurrent revocation dropped the remapping.
+		entry, _ := hw.mgr.LocalLookup(host, page)
+		if entry == nil {
+			return EvictDecision{Kind: EvictNone}
+		}
+		return EvictDecision{Kind: EvictLocalLine, PFN: int64(entry.PFN)}
+	case hw.mgr.Owner(page) == host &&
+		(st == EvictDirty || (st == EvictCleanExclusive && hw.migrateOnE)):
+		// Incremental migration (case ①): absorb the eviction into the
+		// owner's local frame and flip the in-memory bits.
+		entry, _ := hw.mgr.LocalLookup(host, page)
+		if entry != nil && hw.mgr.MigrateLine(host, page, lineInPage) {
+			return EvictDecision{Kind: EvictAbsorb, PFN: int64(entry.PFN)}
+		}
+	}
+	return EvictDecision{Kind: EvictCXL}
+}
+
+func (hw *HardwareHooks) OnWriteback(host int, page int64, lineInPage int) {
+	hw.mgr.DemoteLine(host, page, lineInPage)
+}

@@ -34,49 +34,38 @@ const (
 	LocalOnly
 )
 
-// Kinds lists every scheme in presentation order (the order of Fig. 10).
-var Kinds = []Kind{Native, Nomad, Memtis, HeMem, OSSkew, HWStatic, PIPM, LocalOnly}
-
+// String returns the scheme's registered name (see registry.go).
 func (k Kind) String() string {
-	switch k {
-	case Native:
-		return "native"
-	case Nomad:
-		return "nomad"
-	case Memtis:
-		return "memtis"
-	case HeMem:
-		return "hemem"
-	case OSSkew:
-		return "os-skew"
-	case HWStatic:
-		return "hw-static"
-	case PIPM:
-		return "pipm"
-	case LocalOnly:
-		return "local-only"
-	default:
-		return fmt.Sprintf("Kind(%d)", uint8(k))
+	if s, ok := Lookup(k); ok {
+		return s.Name
 	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
-// ParseKind resolves a scheme name (as printed by String).
+// ParseKind resolves a scheme name (as printed by String) against the
+// registry.
 func ParseKind(s string) (Kind, error) {
-	for _, k := range Kinds {
-		if k.String() == s {
-			return k, nil
-		}
+	sc, err := ByName(s)
+	if err != nil {
+		return 0, err
 	}
-	return 0, fmt.Errorf("migration: unknown scheme %q", s)
+	return sc.Kind, nil
+}
+
+// FamilyOf returns the scheme family k is registered under; unregistered
+// kinds report FamilyNative (they build no migration machinery).
+func (k Kind) FamilyOf() Family {
+	if s, ok := Lookup(k); ok {
+		return s.Family
+	}
+	return FamilyNative
 }
 
 // Kernel reports whether the scheme migrates whole pages via the kernel.
-func (k Kind) Kernel() bool {
-	return k == Nomad || k == Memtis || k == HeMem || k == OSSkew
-}
+func (k Kind) Kernel() bool { return k.FamilyOf() == FamilyKernel }
 
 // Hardware reports whether the scheme uses the PIPM coherence mechanism.
-func (k Kind) Hardware() bool { return k == PIPM || k == HWStatic }
+func (k Kind) Hardware() bool { return k.FamilyOf() == FamilyHardware }
 
 // ToCXL is the Op destination meaning "demote back to CXL memory".
 const ToCXL = -1

@@ -36,7 +36,15 @@ type Engine struct {
 	nextSeq uint64
 	events  eventHeap
 	ran     uint64
+	// free recycles Event boxes between Step and At: the steady state of a
+	// simulation schedules roughly one event per event retired, so without a
+	// freelist every At is a heap allocation on the hot path.
+	free []*Event
 }
+
+// maxFree bounds the freelist so a scheduling burst (e.g. the per-core seed
+// events at start-up) cannot pin memory for the rest of the run.
+const maxFree = 1024
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine { return &Engine{} }
@@ -57,7 +65,16 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic("sim: event scheduled in the past")
 	}
-	ev := &Event{At: t, Fn: fn, seq: e.nextSeq}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.At, ev.Fn = t, fn
+	} else {
+		ev = &Event{At: t, Fn: fn}
+	}
+	ev.seq = e.nextSeq
 	e.nextSeq++
 	heap.Push(&e.events, ev)
 }
@@ -74,7 +91,14 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.events).(*Event)
 	e.now = ev.At
 	e.ran++
-	ev.Fn()
+	fn := ev.Fn
+	// Recycle before running fn: the box is dead once its fields are copied
+	// out, and fn's own At calls are exactly where the reuse pays off.
+	ev.Fn = nil
+	if len(e.free) < maxFree {
+		e.free = append(e.free, ev)
+	}
+	fn()
 	return true
 }
 

@@ -48,6 +48,18 @@ const (
 // Schemes lists every scheme in the paper's presentation order.
 func Schemes() []Scheme { return append([]Scheme(nil), migration.Kinds...) }
 
+// SchemeInfo is one scheme-registry descriptor: name, family, one-line
+// description, and the family knobs (see internal/migration and DESIGN.md
+// §11). The registry is the single source of truth both CLIs and the
+// harness enumerate.
+type SchemeInfo = migration.Scheme
+
+// RegisteredSchemes returns every scheme descriptor in presentation order.
+func RegisteredSchemes() []SchemeInfo { return migration.Registered() }
+
+// SchemeNames lists registered scheme names in presentation order.
+func SchemeNames() []string { return migration.Names() }
+
 // ParseScheme resolves a scheme name ("pipm", "native", "hw-static", ...).
 func ParseScheme(s string) (Scheme, error) { return migration.ParseKind(s) }
 
