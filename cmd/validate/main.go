@@ -1,0 +1,123 @@
+// Command validate runs the simulator's validation pass (DESIGN.md §12):
+//
+//  1. the audited sweep — every scheme × workload with the runtime invariant
+//     auditor attached, expecting zero violations;
+//  2. the metamorphic relation registry — properties that must hold between
+//     related runs (threshold degeneration, zero-sharing inertness, scheme
+//     instruction invariance, prefix monotonicity, …);
+//  3. multi-seed replication — N seeds per (scheme, workload), reduced to
+//     mean ± 95% CI error bars.
+//
+// All simulations flow through one memoised run-graph engine, so a run
+// shared by several phases executes once. The process exits nonzero when any
+// phase fails — CI runs `validate -quick` as a gate.
+//
+// Usage:
+//
+//	validate -quick                      # CI tier: quick sweep, 5 seeds
+//	validate -quick -seeds 3 -parallel 8
+//	validate -records 200000 -audit paranoid
+//	validate -quick -json validate.json  # machine-readable report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pipm/internal/audit"
+	"pipm/internal/harness"
+	"pipm/internal/migration"
+	"pipm/internal/validate"
+	"pipm/internal/workload"
+)
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "use the small quick configuration (the CI tier)")
+		records    = flag.Int64("records", 0, "override trace records per core")
+		seeds      = flag.Int("seeds", 5, "replication seeds per (scheme, workload)")
+		parallel   = flag.Int("parallel", 0, "max simulations in flight (0 = GOMAXPROCS)")
+		progress   = flag.Bool("progress", false, "emit per-run progress lines on stderr")
+		jsonPath   = flag.String("json", "", "write the machine-readable report to this file")
+		auditMode  = flag.String("audit", "quantum", "auditor mode for the audited sweep: off, quantum or paranoid")
+		auditEvery = flag.Int("audit-interval", 0, "quanta between periodic sweeps (0 = default)")
+		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: the tier's set)")
+		schemes    = flag.String("schemes", "", "comma-separated scheme subset (default: all registered)")
+	)
+	flag.Parse()
+
+	o := validate.Options{Harness: harness.DefaultOptions(), Seeds: *seeds}
+	if *quick {
+		o = validate.Quick()
+		o.Seeds = *seeds
+	}
+	if *records > 0 {
+		o.Harness.RecordsPerCore = *records
+	}
+	o.Harness.Workers = *parallel
+	if *progress {
+		o.Harness.Progress = os.Stderr
+	}
+
+	mode, err := audit.ParseMode(*auditMode)
+	if err != nil {
+		fatal(err)
+	}
+	o.Audit = audit.Options{Mode: mode, Interval: *auditEvery}.WithDefaults()
+	if mode == audit.Off {
+		o.Audit = audit.Options{}
+	}
+
+	if *workloads != "" {
+		var wls []workload.Params
+		for _, name := range strings.Split(*workloads, ",") {
+			p, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			wls = append(wls, p)
+		}
+		o.Harness.Workloads = wls
+	}
+	if *schemes != "" {
+		for _, name := range strings.Split(*schemes, ",") {
+			sc, err := migration.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			o.Schemes = append(o.Schemes, sc.Kind)
+		}
+	}
+
+	rep, err := validate.Run(o)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Render(os.Stdout)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[validate] wrote %s\n", *jsonPath)
+	}
+
+	if err := rep.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "[validate] all phases clean")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "validate:", err)
+	os.Exit(1)
+}

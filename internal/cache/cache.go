@@ -238,6 +238,17 @@ func (c *Cache) InvalidatePage(page config.Addr, fn func(config.Addr, State)) {
 	}
 }
 
+// ForEach invokes fn for every valid line without touching LRU order or
+// statistics. The runtime invariant auditor walks cache contents through
+// this; it must stay observation-only so audited runs are bit-identical.
+func (c *Cache) ForEach(fn func(lineAddr config.Addr, st State)) {
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			fn(c.lines[i].tag, c.lines[i].state)
+		}
+	}
+}
+
 // Occupancy returns the number of valid lines.
 func (c *Cache) Occupancy() int {
 	n := 0

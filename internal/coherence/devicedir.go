@@ -76,6 +76,7 @@ type DeviceDir struct {
 	sets, ways, slices int
 	lines              []dirLine // slices*sets*ways
 	tick               uint64
+	occ                int // valid entries, maintained so Occupancy is O(1)
 	stats              Stats
 }
 
@@ -122,6 +123,29 @@ func (d *DeviceDir) Lookup(line config.Addr) (Entry, bool) {
 	return Entry{}, false
 }
 
+// Peek returns the entry for line without touching LRU order or lookup
+// statistics. Directory audits use this instead of Lookup so an audited run
+// keeps the exact same stats stream as an unaudited one.
+func (d *DeviceDir) Peek(line config.Addr) (Entry, bool) {
+	set := d.setFor(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return set[i].entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// ForEach invokes fn for every valid entry without touching LRU order or
+// statistics (observation-only, for the invariant auditor).
+func (d *DeviceDir) ForEach(fn func(line config.Addr, e Entry)) {
+	for i := range d.lines {
+		if d.lines[i].valid {
+			fn(d.lines[i].tag, d.lines[i].entry)
+		}
+	}
+}
+
 // Update installs or replaces the entry for line, returning a capacity
 // back-invalidation if a victim in use had to be displaced. Passing an
 // entry with State == DirInvalid removes the line's entry instead.
@@ -132,6 +156,7 @@ func (d *DeviceDir) Update(line config.Addr, e Entry) (BackInvalidation, bool) {
 		if set[i].valid && set[i].tag == line {
 			if e.State == DirInvalid {
 				set[i] = dirLine{}
+				d.occ--
 				return BackInvalidation{}, false
 			}
 			set[i].entry = e
@@ -163,6 +188,9 @@ func (d *DeviceDir) Update(line config.Addr, e Entry) (BackInvalidation, bool) {
 		d.stats.BackInvals++
 	}
 	set[victim] = dirLine{tag: line, valid: true, lru: d.tick, entry: e}
+	if !evicted {
+		d.occ++
+	}
 	d.stats.Installs++
 	return bi, evicted
 }
@@ -175,6 +203,7 @@ func (d *DeviceDir) Remove(line config.Addr) (Entry, bool) {
 		if set[i].valid && set[i].tag == line {
 			e := set[i].entry
 			set[i] = dirLine{}
+			d.occ--
 			return e, true
 		}
 	}
@@ -193,11 +222,13 @@ func (d *DeviceDir) RemoveSharer(line config.Addr, h int) bool {
 				e.Sharers &^= 1 << uint(h)
 				if e.Sharers == 0 {
 					set[i] = dirLine{}
+					d.occ--
 					return false
 				}
 			case DirModified:
 				if int(e.Owner) == h {
 					set[i] = dirLine{}
+					d.occ--
 					return false
 				}
 			}
@@ -208,15 +239,7 @@ func (d *DeviceDir) RemoveSharer(line config.Addr, h int) bool {
 }
 
 // Occupancy returns the number of valid entries.
-func (d *DeviceDir) Occupancy() int {
-	n := 0
-	for i := range d.lines {
-		if d.lines[i].valid {
-			n++
-		}
-	}
-	return n
-}
+func (d *DeviceDir) Occupancy() int { return d.occ }
 
 // Stats returns accumulated counters.
 func (d *DeviceDir) Stats() Stats { return d.stats }

@@ -1,0 +1,76 @@
+package config
+
+import "testing"
+
+// FuzzAddressMap fuzzes the unified address-space layout: for arbitrary
+// (hosts, local capacity, shared size) geometries, region classification
+// must partition the space consistently and the constructor round-trips
+// (PrivateAddr/SharedAddr are the inverses of Region on their ranges).
+func FuzzAddressMap(f *testing.F) {
+	f.Add(uint8(4), uint64(1<<30), uint64(16<<20), uint64(0))
+	f.Add(uint8(1), uint64(4096), uint64(4096), uint64(4095))
+	f.Add(uint8(32), uint64(1<<20), uint64(1<<32), uint64(1<<40))
+
+	f.Fuzz(func(t *testing.T, hosts uint8, dram, shared, probe uint64) {
+		c := Default()
+		c.Hosts = 1 + int(hosts%32)
+		c.LocalDRAM.CapacityBytes = int64(1+dram%(1<<40)) &^ (PageBytes - 1)
+		if c.LocalDRAM.CapacityBytes < PageBytes {
+			c.LocalDRAM.CapacityBytes = PageBytes
+		}
+		c.SharedBytes = int64(1+shared%(1<<40)) &^ (PageBytes - 1)
+		if c.SharedBytes < PageBytes {
+			c.SharedBytes = PageBytes
+		}
+		m := NewAddressMap(&c)
+
+		// The shared pool must not overlap any private window.
+		if m.SharedBase() < Addr(c.LocalDRAM.CapacityBytes)*Addr(c.Hosts) {
+			t.Fatalf("shared base %#x overlaps private windows", uint64(m.SharedBase()))
+		}
+
+		// Private round-trip: every (host, offset) classifies back.
+		h := int(probe % uint64(c.Hosts))
+		off := Addr(probe % uint64(c.LocalDRAM.CapacityBytes))
+		pa := m.PrivateAddr(h, off)
+		if kind, owner := m.Region(pa); kind != RegionPrivate || owner != h {
+			t.Fatalf("PrivateAddr(%d, %#x) = %#x classified %v/%d", h, uint64(off), uint64(pa), kind, owner)
+		}
+
+		// Shared round-trip: offset → address → region and page index.
+		soff := Addr(probe % uint64(c.SharedBytes))
+		sa := m.SharedAddr(soff)
+		if kind, _ := m.Region(sa); kind != RegionShared {
+			t.Fatalf("SharedAddr(%#x) = %#x classified %v", uint64(soff), uint64(sa), kind)
+		}
+		if pi := m.SharedPageIndex(sa); pi < 0 || pi >= m.SharedPages() {
+			t.Fatalf("page index %d outside [0, %d)", pi, m.SharedPages())
+		}
+		if sa != m.SharedBase()+soff {
+			t.Fatalf("SharedAddr(%#x) = %#x, want base+off", uint64(soff), uint64(sa))
+		}
+
+		// An arbitrary probe address classifies into exactly one region, and
+		// the gap between the windows and the pool is invalid.
+		kind, owner := m.Region(Addr(probe))
+		switch kind {
+		case RegionPrivate:
+			if owner < 0 || owner >= c.Hosts {
+				t.Fatalf("private owner %d out of range", owner)
+			}
+			if Addr(probe) >= Addr(c.LocalDRAM.CapacityBytes)*Addr(c.Hosts) {
+				t.Fatalf("address %#x beyond private windows classified private", probe)
+			}
+		case RegionShared:
+			if Addr(probe) < m.SharedBase() || Addr(probe) >= m.SharedBase()+m.SharedBytes() {
+				t.Fatalf("address %#x outside pool classified shared", probe)
+			}
+		case RegionInvalid:
+			inPriv := Addr(probe) < Addr(c.LocalDRAM.CapacityBytes)*Addr(c.Hosts)
+			inShared := Addr(probe) >= m.SharedBase() && Addr(probe) < m.SharedBase()+m.SharedBytes()
+			if inPriv || inShared {
+				t.Fatalf("mapped address %#x classified invalid", probe)
+			}
+		}
+	})
+}

@@ -240,6 +240,29 @@ func (m *Manager) MigratedPages(h int) int { return m.local[h].Count() }
 // MigratedLines returns the number of lines currently migrated to host h.
 func (m *Manager) MigratedLines(h int) int { return m.local[h].MigratedLines() }
 
+// GlobalEntryAt returns a value copy of page's global remapping record
+// without running the vote policy or touching the remapping caches
+// (observation-only, for the invariant auditor).
+func (m *Manager) GlobalEntryAt(page int64) GlobalEntry {
+	return *m.global.Entry(page)
+}
+
+// PeekLocal returns a value copy of host h's local entry for page without
+// touching the local remapping cache (observation-only).
+func (m *Manager) PeekLocal(h int, page int64) (LocalEntry, bool) {
+	e, ok := m.local[h].Lookup(page)
+	if !ok {
+		return LocalEntry{}, false
+	}
+	return *e, true
+}
+
+// ForEachLocal invokes fn for every page partially migrated to host h, in
+// ascending page order, passing value copies (observation-only).
+func (m *Manager) ForEachLocal(h int, fn func(page int64, e LocalEntry)) {
+	m.local[h].ForEach(fn)
+}
+
 // GlobalCache and LocalCache expose the remap caches for stats/latency.
 func (m *Manager) GlobalCache() *RemapCache     { return m.gcache }
 func (m *Manager) LocalCache(h int) *RemapCache { return m.lcache[h] }

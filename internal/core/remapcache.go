@@ -113,6 +113,28 @@ func (c *RemapCache) Lookup(page int64) bool {
 	return false
 }
 
+// ForEachCached invokes fn for every cached page index without touching LRU
+// order or hit/miss counters (observation-only, for the invariant auditor).
+// Iteration order is unspecified but deterministic for the set-associative
+// geometry; infinite caches iterate their map, so callers needing a stable
+// order must sort.
+func (c *RemapCache) ForEachCached(fn func(page int64)) {
+	switch {
+	case c.disabled:
+		return
+	case c.infinite:
+		for page := range c.inf {
+			fn(page)
+		}
+		return
+	}
+	for _, tag := range c.tags {
+		if tag != -1 {
+			fn(tag)
+		}
+	}
+}
+
 // Invalidate drops page from the cache (entry removed from the table).
 func (c *RemapCache) Invalidate(page int64) {
 	switch {

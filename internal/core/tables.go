@@ -158,6 +158,22 @@ func (t *LocalTable) SizeBytes() int64 {
 	return int64(len(t.root))*8 + 4*int64(t.count)
 }
 
+// ForEach invokes fn for every live entry in ascending page order, passing a
+// value copy (observation-only, for the invariant auditor).
+func (t *LocalTable) ForEach(fn func(page int64, e LocalEntry)) {
+	for li, leaf := range t.root {
+		if leaf == nil {
+			continue
+		}
+		base := int64(li) * leafEntries
+		for i := range leaf.entries {
+			if leaf.valid[i] {
+				fn(base+int64(i), leaf.entries[i])
+			}
+		}
+	}
+}
+
 // MigratedLines returns the total number of migrated lines across entries.
 func (t *LocalTable) MigratedLines() int {
 	n := 0

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"pipm/internal/audit"
 	"pipm/internal/config"
 	"pipm/internal/migration"
 	"pipm/internal/sim"
@@ -29,11 +30,16 @@ type RunRequest struct {
 	// event trace. Enabled telemetry is part of the run identity; the zero
 	// value leaves the key — and the memo space — exactly as before.
 	Telemetry telemetry.Options
+
+	// Audit, when enabled, attaches the runtime invariant auditor; a run
+	// with violations fails (get returns the report's error). Enabled audit
+	// is part of the run identity, like Telemetry.
+	Audit audit.Options
 }
 
 // Key returns the request's canonical run key.
 func (r RunRequest) Key() RunKey {
-	return keyOf(r.Cfg, r.WL, r.Scheme, r.Records, r.Seed, r.Telemetry)
+	return keyOf(r.Cfg, r.WL, r.Scheme, r.Records, r.Seed, r.Telemetry, r.Audit)
 }
 
 // RunStats is the observability record of one executed simulation: how long
@@ -73,11 +79,12 @@ type engine struct {
 }
 
 type runEntry struct {
-	done  chan struct{} // closed when res/err/stats are final
-	res   Result
-	err   error
-	stats RunStats
-	telem *telemetry.Output // nil unless the request enabled telemetry
+	done   chan struct{} // closed when res/err/stats are final
+	res    Result
+	err    error
+	stats  RunStats
+	telem  *telemetry.Output // nil unless the request enabled telemetry
+	report audit.Report      // zero unless the request enabled auditing
 }
 
 func newEngine(workers int, progress io.Writer) *engine {
@@ -119,7 +126,13 @@ func (e *engine) get(req RunRequest) (Result, error) {
 
 	e.sem <- struct{}{}
 	start := time.Now()
-	ent.res, ent.telem, ent.err = RunOneT(req.Cfg, req.WL, req.Scheme, req.Records, req.Seed, req.Telemetry)
+	ent.res, ent.telem, ent.report, ent.err = RunOneA(
+		req.Cfg, req.WL, req.Scheme, req.Records, req.Seed, req.Telemetry, req.Audit)
+	if ent.err == nil {
+		// An invariant violation fails the run exactly like a build error
+		// would: every requester of this key sees it.
+		ent.err = ent.report.Err()
+	}
 	wall := time.Since(start)
 	<-e.sem
 
@@ -206,6 +219,39 @@ func (e *engine) statsSnapshot() []RunStats {
 	})
 	return out
 }
+
+// Runner is the run-graph engine's exported face for callers other than the
+// Suite (the validation subsystem, ad-hoc tools): RunKey-memoised,
+// singleflight, bounded-parallel execution of RunRequests. Two requests with
+// equal keys — across any goroutines — simulate once and share the Result.
+type Runner struct{ eng *engine }
+
+// NewRunner builds a runner executing at most workers simulations at a time
+// (≤ 0 means GOMAXPROCS); progress, when non-nil, receives one line per
+// completed run.
+func NewRunner(workers int, progress io.Writer) *Runner {
+	return &Runner{eng: newEngine(workers, progress)}
+}
+
+// Get returns the request's memoized Result, executing the simulation on
+// first request of its key. Audited requests fail on any invariant violation.
+func (r *Runner) Get(req RunRequest) (Result, error) { return r.eng.get(req) }
+
+// Report returns the audit report of a completed audited run, or a zero
+// report if the key was never requested (or auditing was off).
+func (r *Runner) Report(req RunRequest) audit.Report {
+	r.eng.mu.Lock()
+	ent, ok := r.eng.runs[req.Key()]
+	r.eng.mu.Unlock()
+	if !ok {
+		return audit.Report{}
+	}
+	<-ent.done
+	return ent.report
+}
+
+// RunStats returns the per-run observability records of every completed run.
+func (r *Runner) RunStats() []RunStats { return r.eng.statsSnapshot() }
 
 // RunTelemetry pairs one completed run's identity with its collected
 // telemetry output.

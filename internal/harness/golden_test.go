@@ -98,6 +98,14 @@ func goldenSweep(t *testing.T) []goldenEntry {
 // testdata/golden_quick.json. A refactor of the walk, the route modules or
 // the scheme hooks that changes any stat, any latency or any event ordering
 // fails here before it can silently shift a figure.
+//
+// Golden digests are one of three independent guards over the memory path;
+// the other two are the runtime invariant auditor (internal/audit, swept
+// per quantum during every validated run) and the metamorphic relation
+// registry (internal/validate). Digests catch any bit drift but cannot say
+// whether the old or new behaviour was right; the auditor and the relations
+// check the protocol's own laws, so a legitimate behaviour change
+// regenerates this file (-update-golden) only after those two stay green.
 func TestGoldenQuickSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick sweep is too slow for -short")

@@ -9,6 +9,7 @@ import (
 	"math"
 	"reflect"
 
+	"pipm/internal/audit"
 	"pipm/internal/config"
 	"pipm/internal/migration"
 	"pipm/internal/telemetry"
@@ -34,15 +35,16 @@ func (k RunKey) Short() string { return hex.EncodeToString(k[:6]) }
 // added to either struct in a future PR automatically changes the key space
 // instead of silently aliasing old entries.
 func KeyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64) RunKey {
-	return keyOf(cfg, wl, k, records, seed, telemetry.Options{})
+	return keyOf(cfg, wl, k, records, seed, telemetry.Options{}, audit.Options{})
 }
 
-// keyOf additionally folds a telemetry configuration into the key — but only
-// when telemetry is enabled. Disabled runs hash exactly as before, so every
-// memoized key of a telemetry-free sweep stays valid; enabled runs get their
-// own entries because the engine must keep their collected output alongside
-// the Result.
-func keyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64, topt telemetry.Options) RunKey {
+// keyOf additionally folds telemetry and audit configurations into the key —
+// but only when enabled. Disabled runs hash exactly as before, so every
+// memoized key of a plain sweep stays valid; enabled runs get their own
+// entries because the engine must keep the collected output (or the audit
+// report, whose pass/fail semantics differ) alongside the Result.
+func keyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64,
+	topt telemetry.Options, aopt audit.Options) RunKey {
 	h := sha256.New()
 	enc := canonEncoder{h: h}
 	enc.value("cfg", reflect.ValueOf(cfg))
@@ -52,6 +54,9 @@ func keyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, see
 	enc.int64("seed", seed)
 	if topt.Enabled() {
 		enc.value("telemetry", reflect.ValueOf(topt))
+	}
+	if aopt.Enabled() {
+		enc.value("audit", reflect.ValueOf(aopt))
 	}
 	var key RunKey
 	h.Sum(key[:0])

@@ -14,6 +14,7 @@ package harness
 import (
 	"io"
 
+	"pipm/internal/audit"
 	"pipm/internal/config"
 	"pipm/internal/machine"
 	"pipm/internal/migration"
@@ -44,6 +45,13 @@ type Options struct {
 	// telemetry is folded into the key so collected output stays attached to
 	// its run. Telemetry never perturbs simulation results.
 	Telemetry telemetry.Options
+
+	// Audit attaches the runtime invariant auditor to every run the suite
+	// executes; any invariant violation fails the run. Like Telemetry, the
+	// zero value is disabled, keeps run keys unchanged, and the auditor is
+	// observation-only — an audited run's Result is bit-identical to an
+	// unaudited one.
+	Audit audit.Options
 }
 
 // DefaultOptions returns the scaled-down sweep configuration: Table 2
@@ -131,12 +139,26 @@ func RunOne(cfg config.Config, wl workload.Params, k migration.Kind, records, se
 // Result (nil when disabled). Telemetry does not change the Result.
 func RunOneT(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64,
 	topt telemetry.Options) (Result, *telemetry.Output, error) {
+	r, out, _, err := RunOneA(cfg, wl, k, records, seed, topt, audit.Options{})
+	return r, out, err
+}
+
+// RunOneA is RunOneT with the runtime invariant auditor: when aopt is enabled
+// the machine sweeps its protocol state during the run and the returned
+// Report carries any violations (Report.Err() is nil on a clean run). The
+// auditor is observation-only, so the Result — and the telemetry stream — are
+// bit-identical to an unaudited run's.
+func RunOneA(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64,
+	topt telemetry.Options, aopt audit.Options) (Result, *telemetry.Output, audit.Report, error) {
 	m, err := machine.New(cfg, k)
 	if err != nil {
-		return Result{}, nil, err
+		return Result{}, nil, audit.Report{}, err
 	}
 	if err := m.EnableTelemetry(topt); err != nil {
-		return Result{}, nil, err
+		return Result{}, nil, audit.Report{}, err
+	}
+	if err := m.EnableAuditor(aopt); err != nil {
+		return Result{}, nil, audit.Report{}, err
 	}
 	am := m.AddressMap()
 	for h := 0; h < cfg.Hosts; h++ {
@@ -145,7 +167,7 @@ func RunOneT(cfg config.Config, wl workload.Params, k migration.Kind, records, s
 		}
 	}
 	if err := m.Run(); err != nil {
-		return Result{}, nil, err
+		return Result{}, nil, audit.Report{}, err
 	}
 	col := m.Stats()
 	sharedPages := float64(cfg.SharedPages())
@@ -181,7 +203,7 @@ func RunOneT(cfg config.Config, wl workload.Params, k migration.Kind, records, s
 			r.LocalRemapHitRate = float64(hits) / float64(lookups)
 		}
 	}
-	return r, m.TelemetryOutput(), nil
+	return r, m.TelemetryOutput(), m.AuditReport(), nil
 }
 
 // Speedup returns base execution time over r's (— >1 means r is faster).

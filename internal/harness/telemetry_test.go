@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"pipm/internal/audit"
 	"pipm/internal/migration"
 	"pipm/internal/sim"
 	"pipm/internal/telemetry"
@@ -141,13 +142,18 @@ func TestRunKeyTelemetryFolding(t *testing.T) {
 	o := QuickOptions()
 	wl := o.Workloads[0]
 	base := KeyOf(o.Cfg, wl, migration.PIPM, 100, 1)
-	disabled := keyOf(o.Cfg, wl, migration.PIPM, 100, 1, telemetry.Options{})
+	disabled := keyOf(o.Cfg, wl, migration.PIPM, 100, 1, telemetry.Options{}, audit.Options{})
 	if base != disabled {
 		t.Fatal("zero telemetry options changed the run key")
 	}
 	enabled := keyOf(o.Cfg, wl, migration.PIPM, 100, 1,
-		telemetry.Options{SampleInterval: 10 * sim.Microsecond})
+		telemetry.Options{SampleInterval: 10 * sim.Microsecond}, audit.Options{})
 	if enabled == base {
 		t.Fatal("enabled telemetry did not change the run key")
+	}
+	audited := keyOf(o.Cfg, wl, migration.PIPM, 100, 1,
+		telemetry.Options{}, audit.Options{Mode: audit.Quantum}.WithDefaults())
+	if audited == base || audited == enabled {
+		t.Fatal("enabled auditing did not get its own run key")
 	}
 }

@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"testing"
+
+	"pipm/internal/config"
+	"pipm/internal/migration"
+	"pipm/internal/sim"
+	"pipm/internal/trace"
+)
+
+// The auditor is always compiled in, so its disabled cost is paid by every
+// production run: one auditPending branch per access on the stepCore hot
+// loop. BenchmarkAuditorDisabledOverhead prices that branch — "baseline"
+// drives the walk exactly like BenchmarkAccessPath, "disabled" adds the
+// auditPending check a real stepCore iteration performs with auditing off.
+// The two must stay within ~2% of each other and both at 0 allocs/op; CI
+// runs the benchmark at -benchtime 1x as a does-it-still-run smoke, and
+// TestAuditorDisabledZeroAlloc pins the allocation half as a hard failure.
+
+// benchRecs builds the same fixed record mix as benchAccessPath.
+func benchRecs(m *Machine) []trace.Record {
+	am := m.AddressMap()
+	cfg := m.Config()
+	pages := cfg.SharedPages()
+	recs := make([]trace.Record, 4096)
+	for i := range recs {
+		if i%4 == 3 {
+			recs[i] = trace.Record{Addr: am.PrivateAddr(0, config.Addr(i*config.LineBytes)%(1<<20))}
+			continue
+		}
+		page := int64(i*7) % pages
+		line := (i * 3) % config.LinesPerPage
+		recs[i] = trace.Record{
+			Addr:  am.SharedAddr(config.Addr(page)*config.PageBytes + config.Addr(line*config.LineBytes)),
+			Write: i%5 == 0,
+		}
+	}
+	return recs
+}
+
+func BenchmarkAuditorDisabledOverhead(b *testing.B) {
+	bench := func(b *testing.B, withCheck bool) {
+		m, err := New(testCfg(), migration.PIPM)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := m.hosts[0].cores[0]
+		recs := benchRecs(m)
+		var t sim.Time
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			done, _ := m.access(t, c, recs[i%len(recs)])
+			if withCheck && m.auditPending {
+				m.auditPending = false
+				m.auditSweep(false)
+			}
+			if done > t {
+				t = done
+			}
+		}
+	}
+	b.Run("baseline", func(b *testing.B) { bench(b, false) })
+	b.Run("disabled", func(b *testing.B) { bench(b, true) })
+}
+
+// TestAuditorDisabledZeroAlloc pins the disabled-auditor access path at zero
+// allocations: with no auditor attached, neither the walk nor the
+// auditPending check may allocate.
+func TestAuditorDisabledZeroAlloc(t *testing.T) {
+	m, err := New(testCfg(), migration.PIPM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.hosts[0].cores[0]
+	recs := benchRecs(m)
+	var now sim.Time
+	i := 0
+	// Warm the hierarchy so steady-state rounds exercise hits, misses and
+	// evictions rather than cold compulsory fills.
+	for ; i < len(recs); i++ {
+		done, _ := m.access(now, c, recs[i])
+		if done > now {
+			now = done
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		done, _ := m.access(now, c, recs[i%len(recs)])
+		if m.auditPending {
+			m.auditPending = false
+			m.auditSweep(false)
+		}
+		if done > now {
+			now = done
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-auditor access path allocates %.1f/op, want 0", allocs)
+	}
+}

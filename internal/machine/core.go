@@ -172,6 +172,12 @@ func (m *Machine) stepCore(c *coreState) {
 		}
 
 		done, class := m.access(now, c, rec)
+		if m.auditPending {
+			// Paranoid mode: a protocol transition happened inside this
+			// access; sweep now that the state is consistent again.
+			m.auditPending = false
+			m.auditSweep(false)
+		}
 		hs := m.col.Host(c.host.id)
 		hs.LatSum[class] += done - now
 		m.telLat[class].Observe(done - now)

@@ -14,6 +14,7 @@ package machine
 import (
 	"fmt"
 
+	"pipm/internal/audit"
 	"pipm/internal/cache"
 	"pipm/internal/coherence"
 	"pipm/internal/config"
@@ -87,8 +88,17 @@ type Machine struct {
 	liveCores int
 	ran       bool
 
-	audit     bool
-	auditErrs []string
+	// Runtime invariant auditor (nil when disabled; see audit.go and
+	// audit_sweep.go). audit gates the per-access line check on the walk;
+	// auditPending defers paranoid-mode sweeps to the next consistent point.
+	aud           *audit.Auditor
+	audScratch    auditScratch
+	auditTickFn   func()
+	auditEvery    sim.Time
+	audit         bool
+	auditParanoid bool
+	auditPending  bool
+	auditOwnsTrc  bool
 
 	// Value-tracking layer for differential conformance testing (nil when
 	// disabled); see values.go.
@@ -287,7 +297,14 @@ func (m *Machine) Run() error {
 		m.eng.At(0, func() { m.tel.Snapshot(0) })
 		m.eng.At(m.telOpt.SampleInterval, m.telemetryTickFn)
 	}
+	if m.aud != nil {
+		m.eng.At(m.auditEvery, m.auditTickFn)
+	}
 	m.eng.Run()
+	if m.aud != nil {
+		// Closing sweep over the final state.
+		m.auditSweep(true)
+	}
 	if m.ledger != nil {
 		m.ledger.Finish()
 	}

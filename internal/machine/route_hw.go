@@ -70,6 +70,7 @@ func (m *Machine) evictHWShared(h *host, now sim.Time, page int64, addr, line co
 			m.vals.wbToLocal(h.id, line)
 		}
 		m.trc.Emit(now, 0, telemetry.EvLineMigrate, h.id, page, int64(lip))
+		m.noteAuditTransition()
 		h.dram.Access(now, m.localMigratedAddr(h.id, d.PFN, addr), true)
 		// The CXL-side in-memory bit flips too, but it lives in ECC spare
 		// bits and piggybacks on subsequent accesses (§4.3.2 footnote) — a
@@ -99,6 +100,7 @@ func (m *Machine) pipmDeviceAccess(t sim.Time, c *coreState, rec trace.Record, p
 
 	if out.Promoted {
 		m.trc.Emit(t, 0, telemetry.EvPromote, out.Owner, page, int64(h.id))
+		m.noteAuditTransition()
 	}
 	if out.Revoked {
 		m.applyRevocation(t, page, out)
@@ -158,6 +160,7 @@ func (m *Machine) forwardedFetch(t sim.Time, c *coreState, rec trace.Record, pag
 	// requester's copy.
 	m.hwHooks.OnWriteback(g, page, rec.Addr.LineInPage())
 	m.trc.Emit(t, 0, telemetry.EvLineDemote, g, page, int64(rec.Addr.LineInPage()))
+	m.noteAuditTransition()
 	lat += m.fabric.HostToDevice(t, g, cxlDataBytes) - t
 	m.cxlMem.Access(t, rec.Addr, true) // async in-memory update
 
@@ -190,6 +193,7 @@ func (m *Machine) applyRevocation(t sim.Time, page int64, out pipmcore.Outcome) 
 		m.vals.revoke(page, g, out.RevokedBitmap)
 	}
 	m.trc.Emit(t, 0, telemetry.EvRevoke, g, page, int64(out.RevokedLines))
+	m.noteAuditTransition()
 	// Dropped cache lines leave the device directory too; dirty copies —
 	// CXL-backed M and cached ME alike — write back to CXL memory: the
 	// page's remapping is gone, so local DRAM can no longer hold them.

@@ -127,6 +127,11 @@ func (m *Machine) kernelTick() {
 		for _, op := range ops {
 			m.applyKernelOp(now, op)
 		}
+		if m.auditParanoid {
+			// Epoch migrations are protocol transitions; the tick's end is
+			// the consistent point to sweep at.
+			m.auditSweep(false)
+		}
 	}
 	m.eng.At(now+m.cfg.Kernel.Interval, m.kernelTickFn)
 }

@@ -23,7 +23,10 @@ func (m *Machine) EnableTelemetry(o telemetry.Options) error {
 	}
 	m.telOpt = o
 	if o.Trace {
+		// Replaces the auditor's private ring if one was attached first; the
+		// auditor reads m.trc at violation time, so it follows along.
 		m.trc = telemetry.NewTrace(o.TraceCapacity)
+		m.auditOwnsTrc = false
 	}
 	if o.SampleInterval <= 0 {
 		return nil
@@ -39,7 +42,7 @@ func (m *Machine) EnableTelemetry(o telemetry.Options) error {
 // TelemetryOutput returns everything the run collected, or nil when
 // telemetry was never enabled. Valid after Run.
 func (m *Machine) TelemetryOutput() *telemetry.Output {
-	if m.tel == nil && m.trc == nil {
+	if m.tel == nil && (m.trc == nil || m.auditOwnsTrc) {
 		return nil
 	}
 	return &telemetry.Output{

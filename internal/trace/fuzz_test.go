@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"pipm/internal/config"
+)
+
+// FuzzBinaryReader throws arbitrary bytes at the stream decoder. Whatever
+// the input, the reader must never panic, must terminate, and must report
+// either a clean EOF or an error wrapping ErrBadFormat — never a silent
+// garbage record: every record it does yield has a line-aligned,
+// non-negative address.
+func FuzzBinaryReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("PIPT"))
+	f.Add([]byte("PIPT\x01"))
+	f.Add([]byte("PIPT\x02"))     // unsupported version
+	f.Add([]byte("JUNK\x01\x00")) // bad magic
+	// A tiny valid stream: two records.
+	var valid bytes.Buffer
+	w, err := NewWriter(&valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = w.Write(Record{Gap: 3, Addr: 0x1000, Write: true})
+	_ = w.Write(Record{Gap: 0, Addr: 0x1040, Dep: true})
+	_ = w.Flush()
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())-1]) // truncated final record
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br, err := NewBinaryReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("header error not ErrBadFormat: %v", err)
+			}
+			return
+		}
+		for {
+			rec, ok := br.Next()
+			if !ok {
+				break
+			}
+			if rec.Addr != rec.Addr.LineBase() {
+				t.Fatalf("decoded address %#x not line-aligned", uint64(rec.Addr))
+			}
+		}
+		if err := br.Err(); err != nil && !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("decode error not ErrBadFormat: %v", err)
+		}
+		// A reader that stopped stays stopped.
+		if _, ok := br.Next(); ok {
+			t.Fatal("Next returned a record after reporting end of stream")
+		}
+	})
+}
+
+// FuzzRoundTrip encodes a fuzz-derived record sequence and decodes it back:
+// the decoded stream must match record for record (at line granularity, the
+// only granularity the format stores), with a clean EOF.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Interpret the input as 8-byte chunks: flags + gap + line address.
+		var recs []Record
+		for i := 0; i+8 <= len(data) && len(recs) < 4096; i += 8 {
+			c := data[i : i+8]
+			line := uint64(c[3]) | uint64(c[4])<<8 | uint64(c[5])<<16 |
+				uint64(c[6])<<24 | uint64(c[7])<<32
+			recs = append(recs, Record{
+				Gap:   uint32(c[1]) | uint32(c[2])<<8,
+				Addr:  config.Addr(line) << config.LineShift,
+				Write: c[0]&1 != 0,
+				Dep:   c[0]&2 != 0,
+			})
+		}
+
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		br, err := NewBinaryReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range recs {
+			got, ok := br.Next()
+			if !ok {
+				t.Fatalf("stream ended at record %d of %d: %v", i, len(recs), br.Err())
+			}
+			want.Addr = want.Addr.LineBase()
+			if got != want {
+				t.Fatalf("record %d: got %+v want %+v", i, got, want)
+			}
+		}
+		if _, ok := br.Next(); ok {
+			t.Fatalf("extra record after %d", len(recs))
+		}
+		if err := br.Err(); err != nil {
+			t.Fatalf("round trip ended dirty: %v", err)
+		}
+	})
+}

@@ -1,0 +1,285 @@
+package validate
+
+import (
+	"fmt"
+
+	"pipm/internal/harness"
+	"pipm/internal/migration"
+)
+
+// Relation is one metamorphic relation: a property that must hold between
+// the results of related runs, checked by comparing memoised simulations.
+// Check returns a pass detail ("24 runs compared") or a violation error;
+// wrap run errors with infra() so the pass aborts instead of mis-reporting
+// an infrastructure failure as a violated relation.
+type Relation struct {
+	Name  string
+	Desc  string
+	Check func(c *Ctx) (string, error)
+}
+
+// Relations is the registry, in report order. DESIGN.md §12 documents each
+// relation and how to add one.
+var Relations = []Relation{
+	{
+		Name: "replay-determinism",
+		Desc: "two executions of the same (config, workload, scheme, seed) produce identical Results",
+		Check: func(c *Ctx) (string, error) {
+			o := c.Opt.Harness
+			wl := o.Workloads[0]
+			k := firstScheme(c, migration.PIPM)
+			// Deliberately bypasses the memo: both runs must simulate.
+			a, err := harness.RunOne(o.Cfg, wl, k, o.RecordsPerCore, o.Seed)
+			if err != nil {
+				return "", infra(err)
+			}
+			b, err := harness.RunOne(o.Cfg, wl, k, o.RecordsPerCore, o.Seed)
+			if err != nil {
+				return "", infra(err)
+			}
+			if a != b {
+				return "", fmt.Errorf("%s/%v: repeated run diverged: %+v vs %+v", wl.Name, k, a, b)
+			}
+			return fmt.Sprintf("%s/%v simulated twice, bit-identical", wl.Name, k), nil
+		},
+	},
+	{
+		Name: "scheme-instruction-invariance",
+		Desc: "the instruction count is a property of the trace, identical across every scheme",
+		Check: func(c *Ctx) (string, error) {
+			runs := 0
+			for _, wl := range c.Opt.Harness.Workloads {
+				var want int64
+				for i, k := range c.Opt.schemes() {
+					r, err := c.base(wl, k)
+					if err != nil {
+						return "", infra(err)
+					}
+					runs++
+					if i == 0 {
+						want = r.Instructions
+						continue
+					}
+					if r.Instructions != want {
+						return "", fmt.Errorf("%s: %v executed %d instructions, %v executed %d",
+							wl.Name, c.Opt.schemes()[0], want, k, r.Instructions)
+					}
+				}
+			}
+			return fmt.Sprintf("%d runs agree per workload", runs), nil
+		},
+	},
+	{
+		Name: "family-structure",
+		Desc: "each scheme family leaves its unused machinery at exactly zero",
+		Check: func(c *Ctx) (string, error) {
+			runs := 0
+			for _, wl := range c.Opt.Harness.Workloads {
+				for _, k := range c.Opt.schemes() {
+					r, err := c.base(wl, k)
+					if err != nil {
+						return "", infra(err)
+					}
+					runs++
+					if err := checkFamilyStructure(wl.Name, k, r); err != nil {
+						return "", err
+					}
+				}
+			}
+			return fmt.Sprintf("%d runs structurally exact", runs), nil
+		},
+	},
+	{
+		Name: "zero-sharing-inert",
+		Desc: "a workload with SharedFrac=0 moves no data and pays no migration machinery",
+		Check: func(c *Ctx) (string, error) {
+			wl := c.Opt.Harness.Workloads[0]
+			wl.Name += "-noshare"
+			wl.SharedFrac = 0
+			runs := 0
+			for _, k := range c.Opt.schemes() {
+				r, err := c.base(wl, k)
+				if err != nil {
+					return "", infra(err)
+				}
+				runs++
+				if r.Promotions != 0 || r.Demotions != 0 || r.LinesMoved != 0 || r.BytesMoved != 0 {
+					return "", fmt.Errorf("%s/%v moved data with zero sharing: prom %d dem %d lines %d bytes %d",
+						wl.Name, k, r.Promotions, r.Demotions, r.LinesMoved, r.BytesMoved)
+				}
+				if r.MgmtStallFrac != 0 || r.TransferFrac != 0 || r.InterStallFrac != 0 {
+					return "", fmt.Errorf("%s/%v stalled on migration machinery with zero sharing: mgmt %g transfer %g inter %g",
+						wl.Name, k, r.MgmtStallFrac, r.TransferFrac, r.InterStallFrac)
+				}
+				// HW-static statically pre-assigns every page, so its
+				// footprint gauge is legitimately nonzero without a single
+				// shared access; every other scheme must stay at zero.
+				if k != migration.HWStatic && r.PageFootprintFrac != 0 {
+					return "", fmt.Errorf("%s/%v resident pages with zero sharing: %g",
+						wl.Name, k, r.PageFootprintFrac)
+				}
+			}
+			return fmt.Sprintf("%d schemes inert on %s", runs, wl.Name), nil
+		},
+	},
+	{
+		Name: "threshold-max-degeneration",
+		Desc: "raising the PIPM vote threshold to its 6-bit maximum cannot increase promotions",
+		Check: func(c *Ctx) (string, error) {
+			if !c.Opt.hasScheme(migration.PIPM) {
+				return "skipped: pipm not in scheme set", nil
+			}
+			o := c.Opt.Harness
+			hi := o.Cfg
+			hi.PIPM.MigrationThreshold = 63
+			for _, wl := range o.Workloads {
+				def, err := c.base(wl, migration.PIPM)
+				if err != nil {
+					return "", infra(err)
+				}
+				strict, err := c.get(hi, wl, migration.PIPM, o.RecordsPerCore, o.Seed)
+				if err != nil {
+					return "", infra(err)
+				}
+				if strict.Promotions > def.Promotions {
+					return "", fmt.Errorf("%s: threshold 63 promoted %d pages, threshold %d promoted %d",
+						wl.Name, strict.Promotions, o.Cfg.PIPM.MigrationThreshold, def.Promotions)
+				}
+			}
+			return fmt.Sprintf("%d workloads monotone", len(o.Workloads)), nil
+		},
+	},
+	{
+		Name: "records-prefix-monotonicity",
+		Desc: "half the trace simulates strictly less time and fewer instructions than the whole",
+		Check: func(c *Ctx) (string, error) {
+			o := c.Opt.Harness
+			wl := o.Workloads[0]
+			half := o.RecordsPerCore / 2
+			if half < 1 {
+				return "skipped: record budget too small to halve", nil
+			}
+			checked := 0
+			for _, k := range []migration.Kind{migration.Native, migration.PIPM, migration.Memtis} {
+				if !c.Opt.hasScheme(k) {
+					continue
+				}
+				full, err := c.base(wl, k)
+				if err != nil {
+					return "", infra(err)
+				}
+				short, err := c.get(o.Cfg, wl, k, half, o.Seed)
+				if err != nil {
+					return "", infra(err)
+				}
+				if short.ExecTime >= full.ExecTime || short.Instructions >= full.Instructions {
+					return "", fmt.Errorf("%s/%v: prefix not monotone: %v/%d instr vs %v/%d",
+						wl.Name, k, short.ExecTime, short.Instructions, full.ExecTime, full.Instructions)
+				}
+				checked++
+			}
+			return fmt.Sprintf("%d schemes monotone on %s", checked, wl.Name), nil
+		},
+	},
+	{
+		Name: "local-only-lower-bound",
+		Desc: "the local-only idealisation is strictly faster than the native baseline",
+		Check: func(c *Ctx) (string, error) {
+			if !c.Opt.hasScheme(migration.LocalOnly) || !c.Opt.hasScheme(migration.Native) {
+				return "skipped: needs both local-only and native", nil
+			}
+			for _, wl := range c.Opt.Harness.Workloads {
+				if wl.SharedFrac <= 0 {
+					continue
+				}
+				ideal, err := c.base(wl, migration.LocalOnly)
+				if err != nil {
+					return "", infra(err)
+				}
+				base, err := c.base(wl, migration.Native)
+				if err != nil {
+					return "", infra(err)
+				}
+				if ideal.ExecTime >= base.ExecTime {
+					return "", fmt.Errorf("%s: local-only %v not faster than native %v",
+						wl.Name, ideal.ExecTime, base.ExecTime)
+				}
+			}
+			return fmt.Sprintf("%d workloads bounded", len(c.Opt.Harness.Workloads)), nil
+		},
+	},
+	{
+		Name: "seed-structural-invariance",
+		Desc: "changing the seed changes measurements but never the structural zeros",
+		Check: func(c *Ctx) (string, error) {
+			o := c.Opt.Harness
+			wl := o.Workloads[0]
+			runs := 0
+			for seed := o.Seed; seed < o.Seed+int64(c.Opt.Seeds); seed++ {
+				for _, k := range c.Opt.schemes() {
+					// Shared with the replication sweep through the memo.
+					r, err := c.get(o.Cfg, wl, k, o.RecordsPerCore, seed)
+					if err != nil {
+						return "", infra(err)
+					}
+					runs++
+					if err := checkFamilyStructure(wl.Name, k, r); err != nil {
+						return "", fmt.Errorf("seed %d: %w", seed, err)
+					}
+				}
+			}
+			return fmt.Sprintf("%d runs across %d seeds", runs, c.Opt.Seeds), nil
+		},
+	},
+}
+
+// checkFamilyStructure asserts the structural zeros of a scheme's family: a
+// native run has no migration machinery at all, kernel schemes never move
+// individual lines or touch remapping hardware, and hardware schemes never
+// pay kernel shootdown or transfer stalls.
+func checkFamilyStructure(wl string, k migration.Kind, r harness.Result) error {
+	sc, ok := migration.Lookup(k)
+	if !ok {
+		return fmt.Errorf("%s: unknown scheme %v", wl, k)
+	}
+	switch sc.Family {
+	case migration.FamilyNative, migration.FamilyLocalOnly:
+		if r.Promotions != 0 || r.Demotions != 0 || r.LinesMoved != 0 || r.BytesMoved != 0 {
+			return fmt.Errorf("%s/%v (%s family) migrated: prom %d dem %d lines %d bytes %d",
+				wl, k, sc.Family, r.Promotions, r.Demotions, r.LinesMoved, r.BytesMoved)
+		}
+		if r.MgmtStallFrac != 0 || r.TransferFrac != 0 {
+			return fmt.Errorf("%s/%v (%s family) paid migration stalls: mgmt %g transfer %g",
+				wl, k, sc.Family, r.MgmtStallFrac, r.TransferFrac)
+		}
+		if r.PageFootprintFrac != 0 || r.LineFootprintFrac != 0 {
+			return fmt.Errorf("%s/%v (%s family) reported local residency: pages %g lines %g",
+				wl, k, sc.Family, r.PageFootprintFrac, r.LineFootprintFrac)
+		}
+		if r.LocalRemapHitRate != 0 || r.GlobalRemapHitRate != 0 {
+			return fmt.Errorf("%s/%v (%s family) touched remap caches", wl, k, sc.Family)
+		}
+	case migration.FamilyKernel:
+		if r.LinesMoved != 0 {
+			return fmt.Errorf("%s/%v (kernel family) moved %d individual lines", wl, k, r.LinesMoved)
+		}
+		if r.LocalRemapHitRate != 0 || r.GlobalRemapHitRate != 0 {
+			return fmt.Errorf("%s/%v (kernel family) touched remap caches", wl, k)
+		}
+	case migration.FamilyHardware:
+		if r.MgmtStallFrac != 0 || r.TransferFrac != 0 {
+			return fmt.Errorf("%s/%v (hardware family) paid kernel stalls: mgmt %g transfer %g",
+				wl, k, r.MgmtStallFrac, r.TransferFrac)
+		}
+	}
+	return nil
+}
+
+// firstScheme returns preferred when it is in the pass's scheme set, else the
+// set's first scheme.
+func firstScheme(c *Ctx, preferred migration.Kind) migration.Kind {
+	if c.Opt.hasScheme(preferred) {
+		return preferred
+	}
+	return c.Opt.schemes()[0]
+}

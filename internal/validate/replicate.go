@@ -1,0 +1,133 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"pipm/internal/migration"
+	"pipm/internal/workload"
+)
+
+// ReplicationRow is one (workload, scheme) cell's multi-seed statistics: the
+// BENCH-style point measurements widened into mean ± 95% CI error bars.
+type ReplicationRow struct {
+	Workload     string   `json:"workload"`
+	Scheme       string   `json:"scheme"`
+	Seeds        int      `json:"seeds"`
+	ExecTime     Estimate `json:"exec_time_ps"`
+	IPC          Estimate `json:"ipc"`
+	LocalHitRate Estimate `json:"local_hit_rate"`
+}
+
+// Estimate is a replicated measurement: sample mean, sample standard
+// deviation, and the half-width of the 95% confidence interval on the mean
+// (Student-t, n−1 degrees of freedom; zero when n < 2).
+type Estimate struct {
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	CI95   float64 `json:"ci95"`
+}
+
+func (e Estimate) format(unit string) string {
+	if unit != "" {
+		unit = " " + unit
+	}
+	return fmt.Sprintf("%.4g ± %.2g%s", e.Mean, e.CI95, unit)
+}
+
+// estimate computes an Estimate from samples.
+func estimate(xs []float64) Estimate {
+	n := len(xs)
+	if n == 0 {
+		return Estimate{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	if n < 2 {
+		return Estimate{Mean: mean}
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return Estimate{Mean: mean, Stddev: sd, CI95: tCrit(n-1) * sd / math.Sqrt(float64(n))}
+}
+
+// tCrit is the two-sided 95% Student-t critical value for df degrees of
+// freedom; beyond the table it converges toward the normal 1.96.
+func tCrit(df int) float64 {
+	table := []float64{ // df 1..10
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	}
+	switch {
+	case df < 1:
+		return 0
+	case df <= len(table):
+		return table[df-1]
+	case df <= 30:
+		return 2.09
+	default:
+		return 1.96
+	}
+}
+
+// runReplication executes the N-seed sweep — every (workload, scheme) at
+// seeds Seed..Seed+Seeds−1 — and reduces each cell to error-bar estimates.
+// Row order is (workload, scheme) presentation order, worker-independent.
+func runReplication(ctx *Ctx) ([]ReplicationRow, error) {
+	o := ctx.Opt
+	type cell struct {
+		wl workload.Params
+		k  migration.Kind
+	}
+	var cells []cell
+	for _, wl := range o.Harness.Workloads {
+		for _, k := range o.schemes() {
+			cells = append(cells, cell{wl, k})
+		}
+	}
+
+	rows := make([]ReplicationRow, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	for i, cl := range cells {
+		wg.Add(1)
+		go func(i int, cl cell) {
+			defer wg.Done()
+			exec := make([]float64, 0, o.Seeds)
+			ipc := make([]float64, 0, o.Seeds)
+			hit := make([]float64, 0, o.Seeds)
+			for seed := o.Harness.Seed; seed < o.Harness.Seed+int64(o.Seeds); seed++ {
+				r, err := ctx.get(o.Harness.Cfg, cl.wl, cl.k, o.Harness.RecordsPerCore, seed)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				exec = append(exec, float64(r.ExecTime))
+				ipc = append(ipc, r.IPC)
+				hit = append(hit, r.LocalHitRate)
+			}
+			rows[i] = ReplicationRow{
+				Workload:     cl.wl.Name,
+				Scheme:       cl.k.String(),
+				Seeds:        o.Seeds,
+				ExecTime:     estimate(exec),
+				IPC:          estimate(ipc),
+				LocalHitRate: estimate(hit),
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
