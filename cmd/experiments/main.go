@@ -39,6 +39,23 @@ var order = []string{
 	"threshold", "adaptivity", "protocheck",
 }
 
+// stderr serialises every diagnostic writer — the engine's progress lines
+// (written from worker goroutines while holding the engine lock), the
+// artefact timing lines and the export notes — through one mutex, so no two
+// sources can interleave mid-line under -parallel.
+var stderr = &syncWriter{w: os.Stderr}
+
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
 func main() {
 	var (
 		exps      = flag.String("exp", "all", "comma-separated artefacts: "+strings.Join(order, ", ")+", or all")
@@ -46,6 +63,7 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: full catalog)")
 		quick     = flag.Bool("quick", false, "use the small quick configuration")
 		parallel  = flag.Int("parallel", 0, "max simulations in flight (0 = GOMAXPROCS)")
+		intraPar  = flag.Int("intra-parallel", 0, "prepare workers for intra-run parallel simulation (PDES; 0 = sequential engine, results identical)")
 		progress  = flag.Bool("progress", false, "emit per-run progress/ETA lines on stderr")
 		jsonPath  = flag.String("json", "", "write per-run timing records (BENCH_*.json) to this file")
 		tsPath    = flag.String("timeseries", "", "write per-run interval time-series to this file (JSON, or CSV if the path ends in .csv)")
@@ -80,7 +98,7 @@ func main() {
 
 	if *pprofAddr != "" {
 		go func() {
-			fmt.Fprintln(os.Stderr, "experiments: pprof:", http.ListenAndServe(*pprofAddr, nil))
+			fmt.Fprintln(stderr, "experiments: pprof:", http.ListenAndServe(*pprofAddr, nil))
 		}()
 	}
 
@@ -109,8 +127,11 @@ func main() {
 		}
 	}
 	opt.Workers = *parallel
+	if *intraPar > 0 {
+		opt.Intra.Workers = *intraPar
+	}
 	if *progress {
-		opt.Progress = os.Stderr
+		opt.Progress = stderr
 	}
 	// Telemetry stays disabled — and every run key unchanged — unless an
 	// output flag asks for it.
@@ -150,7 +171,7 @@ func main() {
 		}
 		os.Stdout.Write(a.out.Bytes())
 		fmt.Println()
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", a.id, a.wall.Round(time.Millisecond))
+		fmt.Fprintf(stderr, "[%s done in %v]\n", a.id, a.wall.Round(time.Millisecond))
 	}
 
 	// Even when an artefact failed, the runs that did complete are real
@@ -158,10 +179,22 @@ func main() {
 	// telemetry before exiting nonzero, so a long sweep's data survives one
 	// broken figure builder.
 	if *jsonPath != "" {
-		if err := writeBench(*jsonPath, suite, opt, arts, time.Since(wallStart), *parallel, *quick, failed != nil); err != nil {
+		// With -intra-parallel, also record the sequential-vs-PDES multi-host
+		// throughput pair: the perf trajectory of the intra-run engine across
+		// PRs lives in BENCH_*.json next to the per-run timings.
+		var ib *intraBench
+		if *intraPar > 0 {
+			var err error
+			if ib, err = measureIntra(opt, *intraPar); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(stderr, "[intra bench: seq %.0f rec/s, pdes(%d) %.0f rec/s, speedup %.2fx]\n",
+				ib.SeqRecordsPerSec, ib.Workers, ib.PDESRecordsPerSec, ib.Speedup)
+		}
+		if err := writeBench(*jsonPath, suite, opt, arts, time.Since(wallStart), *parallel, *intraPar, ib, *quick, failed != nil); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "[bench report written to %s]\n", *jsonPath)
+		fmt.Fprintf(stderr, "[bench report written to %s]\n", *jsonPath)
 	}
 	if *tsPath != "" {
 		write := suite.WriteTimeSeries
@@ -171,13 +204,13 @@ func main() {
 		if err := writeTo(*tsPath, write); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "[time-series written to %s]\n", *tsPath)
+		fmt.Fprintf(stderr, "[time-series written to %s]\n", *tsPath)
 	}
 	if *trPath != "" {
 		if err := writeTo(*trPath, suite.WriteTrace); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "[trace written to %s]\n", *trPath)
+		fmt.Fprintf(stderr, "[trace written to %s]\n", *trPath)
 	}
 	if failed != nil {
 		fatal(fmt.Errorf("%s: %w", failed.id, failed.err))
@@ -244,6 +277,7 @@ type benchReport struct {
 	Partial        bool             `json:"partial,omitempty"`
 	Quick          bool             `json:"quick"`
 	Parallel       int              `json:"parallel"`
+	IntraParallel  int              `json:"intra_parallel,omitempty"`
 	GOMAXPROCS     int              `json:"gomaxprocs"`
 	RecordsPerCore int64            `json:"records_per_core"`
 	Seed           int64            `json:"seed"`
@@ -254,6 +288,76 @@ type benchReport struct {
 	MemoHits       int              `json:"memo_hits"`
 	RunWallMSTotal float64          `json:"run_wall_ms_total"`
 	WallMSTotal    float64          `json:"wall_ms_total"`
+	// IntraBench is the sequential-vs-PDES throughput pair recorded when
+	// -intra-parallel is set (see measureIntra).
+	IntraBench *intraBench `json:"intra_bench,omitempty"`
+}
+
+// intraBench records one multi-host run timed on both engines. The two runs
+// produce bit-identical Results (checked before the report is written);
+// only wall-clock differs.
+type intraBench struct {
+	Workload          string  `json:"workload"`
+	Scheme            string  `json:"scheme"`
+	Hosts             int     `json:"hosts"`
+	Cores             int     `json:"cores_per_host"`
+	RecordsPerCore    int64   `json:"records_per_core"`
+	Workers           int     `json:"workers"`
+	SeqWallMS         float64 `json:"seq_wall_ms"`
+	PDESWallMS        float64 `json:"pdes_wall_ms"`
+	SeqRecordsPerSec  float64 `json:"seq_records_per_sec"`
+	PDESRecordsPerSec float64 `json:"pdes_records_per_sec"`
+	Speedup           float64 `json:"speedup"`
+}
+
+// measureIntra times one multi-host pr/PIPM run on the sequential engine
+// and on the PDES engine with the requested worker count, and requires the
+// two Results to be bit-identical before reporting throughput.
+func measureIntra(opt pipm.SuiteOptions, workers int) (*intraBench, error) {
+	wl, err := pipm.WorkloadByName("pr")
+	if err != nil {
+		return nil, err
+	}
+	records := opt.RecordsPerCore
+	totalRecords := records * int64(opt.Cfg.Hosts) * int64(opt.Cfg.CoresPerHost)
+
+	seqStart := time.Now()
+	seqRes, err := pipm.Run(opt.Cfg, wl, pipm.PIPM, records, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	seqWall := time.Since(seqStart)
+
+	pdesStart := time.Now()
+	pdesRes, err := pipm.RunIntra(opt.Cfg, wl, pipm.PIPM, records, opt.Seed, workers)
+	if err != nil {
+		return nil, err
+	}
+	pdesWall := time.Since(pdesStart)
+
+	if seqRes != pdesRes {
+		return nil, fmt.Errorf("intra bench: PDES result diverged from sequential engine")
+	}
+	ib := &intraBench{
+		Workload:       wl.Name,
+		Scheme:         pipm.PIPM.String(),
+		Hosts:          opt.Cfg.Hosts,
+		Cores:          opt.Cfg.CoresPerHost,
+		RecordsPerCore: records,
+		Workers:        workers,
+		SeqWallMS:      float64(seqWall) / float64(time.Millisecond),
+		PDESWallMS:     float64(pdesWall) / float64(time.Millisecond),
+	}
+	if s := seqWall.Seconds(); s > 0 {
+		ib.SeqRecordsPerSec = float64(totalRecords) / s
+	}
+	if s := pdesWall.Seconds(); s > 0 {
+		ib.PDESRecordsPerSec = float64(totalRecords) / s
+	}
+	if pdesWall > 0 {
+		ib.Speedup = float64(seqWall) / float64(pdesWall)
+	}
+	return ib, nil
 }
 
 type artefactTiming struct {
@@ -263,12 +367,14 @@ type artefactTiming struct {
 }
 
 func writeBench(path string, s *pipm.Suite, opt pipm.SuiteOptions,
-	arts []*artefact, total time.Duration, parallel int, quick, partial bool) error {
+	arts []*artefact, total time.Duration, parallel, intraPar int, ib *intraBench, quick, partial bool) error {
 	rep := benchReport{
 		Schema:         "pipm-bench/v1",
 		Partial:        partial,
 		Quick:          quick,
 		Parallel:       parallel,
+		IntraParallel:  intraPar,
+		IntraBench:     ib,
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		RecordsPerCore: opt.RecordsPerCore,
 		Seed:           opt.Seed,
@@ -366,6 +472,6 @@ func run(w io.Writer, s *pipm.Suite, opt pipm.SuiteOptions, id string) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
+	fmt.Fprintln(stderr, "experiments:", err)
 	os.Exit(1)
 }

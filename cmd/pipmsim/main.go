@@ -36,6 +36,7 @@ func main() {
 		cores    = flag.Int("cores", 0, "override cores per host (0 = config default)")
 		shared   = flag.Int64("shared", 0, "override shared heap size in MiB (0 = config default)")
 		compare  = flag.Bool("compare", false, "also run the native baseline and report speedup")
+		intraPar = flag.Int("intra-parallel", 0, "prepare workers for intra-run parallel simulation (PDES; 0 = sequential engine, results identical)")
 		tracedir = flag.String("tracedir", "", "replay binary traces (h<h>c<c>.trc, from tracegen -outdir) instead of generating")
 
 		tsPath    = flag.String("timeseries", "", "write the run's interval time-series to this file (JSON, or CSV if the path ends in .csv)")
@@ -100,9 +101,10 @@ func main() {
 	var tout *pipm.TelemetryOutput
 	var err2 error
 	if *tracedir != "" {
-		res, tout, err2 = runFromTraces(cfg, k, *tracedir, topt)
+		res, tout, err2 = runFromTraces(cfg, k, *tracedir, topt, *intraPar)
 	} else {
-		res, tout, err2 = pipm.RunWithTelemetry(cfg, wl, k, *records, *seed, topt)
+		res, tout, err2 = pipm.RunWithOptions(cfg, wl, k, *records, *seed,
+			pipm.RunOptions{Telemetry: topt, Intra: pipm.IntraOptions{Workers: *intraPar}})
 	}
 	if err2 != nil {
 		fatal(err2)
@@ -177,12 +179,15 @@ func writeTo(path string, write func(io.Writer) error) error {
 }
 
 // runFromTraces replays tracegen -outdir output through the machine.
-func runFromTraces(cfg pipm.Config, k pipm.Scheme, dir string, topt pipm.TelemetryOptions) (pipm.Result, *pipm.TelemetryOutput, error) {
+func runFromTraces(cfg pipm.Config, k pipm.Scheme, dir string, topt pipm.TelemetryOptions, intraWorkers int) (pipm.Result, *pipm.TelemetryOutput, error) {
 	m, err := pipm.NewMachine(cfg, k)
 	if err != nil {
 		return pipm.Result{}, nil, err
 	}
 	if err := m.EnableTelemetry(topt); err != nil {
+		return pipm.Result{}, nil, err
+	}
+	if err := m.EnableIntraParallel(pipm.IntraOptions{Workers: intraWorkers}); err != nil {
 		return pipm.Result{}, nil, err
 	}
 	var files []*os.File

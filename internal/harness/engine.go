@@ -10,6 +10,7 @@ import (
 
 	"pipm/internal/audit"
 	"pipm/internal/config"
+	"pipm/internal/machine"
 	"pipm/internal/migration"
 	"pipm/internal/sim"
 	"pipm/internal/telemetry"
@@ -35,11 +36,17 @@ type RunRequest struct {
 	// with violations fails (get returns the report's error). Enabled audit
 	// is part of the run identity, like Telemetry.
 	Audit audit.Options
+
+	// Intra, when enabled, runs the simulation on the intra-run parallel
+	// engine (DESIGN.md §13). Results are bit-identical to the sequential
+	// engine's, but the engine configuration joins the run identity like
+	// Telemetry/Audit so determinism tests can force distinct executions.
+	Intra machine.IntraOptions
 }
 
 // Key returns the request's canonical run key.
 func (r RunRequest) Key() RunKey {
-	return keyOf(r.Cfg, r.WL, r.Scheme, r.Records, r.Seed, r.Telemetry, r.Audit)
+	return keyOf(r.Cfg, r.WL, r.Scheme, r.Records, r.Seed, r.Telemetry, r.Audit, r.Intra)
 }
 
 // RunStats is the observability record of one executed simulation: how long
@@ -126,8 +133,9 @@ func (e *engine) get(req RunRequest) (Result, error) {
 
 	e.sem <- struct{}{}
 	start := time.Now()
-	ent.res, ent.telem, ent.report, ent.err = RunOneA(
-		req.Cfg, req.WL, req.Scheme, req.Records, req.Seed, req.Telemetry, req.Audit)
+	ent.res, ent.telem, ent.report, ent.err = RunOneOpts(
+		req.Cfg, req.WL, req.Scheme, req.Records, req.Seed,
+		RunOpts{Telemetry: req.Telemetry, Audit: req.Audit, Intra: req.Intra})
 	if ent.err == nil {
 		// An invariant violation fails the run exactly like a build error
 		// would: every requester of this key sees it.
@@ -152,21 +160,26 @@ func (e *engine) get(req RunRequest) (Result, error) {
 
 // noteDone updates the progress counters and, when a progress writer is
 // attached, emits one completion line with a naive remaining-work ETA
-// (mean wall per run × outstanding runs ÷ workers).
+// (mean wall per run × outstanding runs ÷ workers). The line is written
+// while still holding the engine lock: counters printed outside it could
+// appear out of order ("3/24" before "2/24") and two workers' lines could
+// interleave mid-line under parallel runs. The lock also makes the engine
+// the sole serialisation point for the writer, so any io.Writer — a plain
+// bytes.Buffer in tests, os.Stderr in the CLIs — is safe without its own
+// locking as long as nothing else writes to it concurrently.
 func (e *engine) noteDone(ent *runEntry, wall time.Duration) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.completed++
 	e.wallSum += wall
-	completed, scheduled := e.completed, e.scheduled
-	mean := e.wallSum / time.Duration(completed)
-	e.mu.Unlock()
 	if e.progress == nil {
 		return
 	}
-	remaining := scheduled - completed
+	mean := e.wallSum / time.Duration(e.completed)
+	remaining := e.scheduled - e.completed
 	eta := mean * time.Duration(remaining) / time.Duration(e.workers)
 	fmt.Fprintf(e.progress, "[engine] %d/%d runs  %s/%s %v  sim %v  (eta %v for %d queued)\n",
-		completed, scheduled, ent.stats.Workload, ent.stats.Scheme,
+		e.completed, e.scheduled, ent.stats.Workload, ent.stats.Scheme,
 		wall.Round(time.Millisecond), sim.Time(ent.stats.SimPS),
 		eta.Round(100*time.Millisecond), remaining)
 }

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"pipm/internal/audit"
+	"pipm/internal/machine"
+	"pipm/internal/migration"
+	"pipm/internal/sim"
+	"pipm/internal/telemetry"
+)
+
+// The PDES engine's whole contract is bit-identity: at any intra-worker
+// count a run must produce the same Result digest, the same telemetry
+// export bytes and the same audit report as the sequential engine
+// (DESIGN.md §13). These tests pin that matrix; TestAuditedRunDeterminism
+// covers the inter-run (memoised engine) half of the same guarantee.
+
+var intraWorkerMatrix = []int{1, 2, 4, 8}
+
+// exportBytes renders one run's telemetry output through both production
+// exporters so the comparison covers every byte the run can emit.
+func exportBytes(t *testing.T, key string, tout *telemetry.Output) (ts, tr []byte) {
+	t.Helper()
+	runs := []telemetry.LabeledOutput{{Label: "pr/PIPM", Key: key, Output: tout}}
+	var tsb, trb bytes.Buffer
+	if err := telemetry.WriteTimeSeries(&tsb, runs); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteChromeTrace(&trb, runs); err != nil {
+		t.Fatal(err)
+	}
+	return tsb.Bytes(), trb.Bytes()
+}
+
+// TestIntraDeterminismMatrix runs one fully instrumented simulation —
+// telemetry sampling plus tracing plus the paranoid auditor — on the
+// sequential engine, then at 1, 2, 4 and 8 intra-workers, and requires
+// the Result digest, both telemetry exports and the audit report to be
+// identical across the whole matrix.
+func TestIntraDeterminismMatrix(t *testing.T) {
+	o := auditDetOptions()
+	o.Telemetry = telemetry.Options{SampleInterval: 10 * sim.Microsecond, Trace: true}
+	wl := o.Workloads[0]
+	aopt := audit.Options{Mode: audit.Paranoid}.WithDefaults()
+
+	runAt := func(workers int) (Result, *telemetry.Output, audit.Report) {
+		res, tout, rep, err := RunOneOpts(o.Cfg, wl, migration.PIPM, o.RecordsPerCore, o.Seed,
+			RunOpts{Telemetry: o.Telemetry, Audit: aopt, Intra: machine.IntraOptions{Workers: workers}})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("workers=%d: paranoid auditor found violations: %v", workers, err)
+		}
+		return res, tout, rep
+	}
+
+	baseRes, baseOut, baseRep := runAt(0)
+	wantDigest := DigestResult(baseRes)
+	wantTS, wantTR := exportBytes(t, "seq", baseOut)
+	if baseRep.Sweeps == 0 {
+		t.Fatal("paranoid auditor attached but never swept")
+	}
+
+	for _, w := range intraWorkerMatrix {
+		res, tout, rep := runAt(w)
+		if got := DigestResult(res); got != wantDigest {
+			t.Errorf("workers=%d: digest %s… != sequential %s…", w, got[:12], wantDigest[:12])
+		}
+		ts, tr := exportBytes(t, "seq", tout)
+		if !bytes.Equal(ts, wantTS) {
+			t.Errorf("workers=%d: time-series export bytes differ from sequential engine", w)
+		}
+		if !bytes.Equal(tr, wantTR) {
+			t.Errorf("workers=%d: chrome-trace export bytes differ from sequential engine", w)
+		}
+		if rep.Sweeps != baseRep.Sweeps || rep.Checks != baseRep.Checks {
+			t.Errorf("workers=%d: audit report %d sweeps/%d checks != sequential %d/%d",
+				w, rep.Sweeps, rep.Checks, baseRep.Sweeps, baseRep.Checks)
+		}
+	}
+}
+
+// TestIntraQuickSweepDigests runs every scheme of the quick sweep's first
+// workload through the memoised engine with intra parallelism enabled and
+// matches each digest against a sequential baseline — the intra-workers
+// analogue of the golden quick sweep, without touching the golden file's
+// run keys.
+func TestIntraQuickSweepDigests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheme sweep across the worker matrix is too slow for -short")
+	}
+	o := auditDetOptions()
+	wl := o.Workloads[0]
+
+	want := make(map[migration.Kind]string)
+	for _, k := range migration.Kinds {
+		res, err := RunOne(o.Cfg, wl, k, o.RecordsPerCore, o.Seed)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		want[k] = DigestResult(res)
+	}
+
+	for _, w := range intraWorkerMatrix {
+		runner := NewRunner(2, nil)
+		for _, k := range migration.Kinds {
+			res, err := runner.Get(RunRequest{
+				Cfg: o.Cfg, WL: wl, Scheme: k,
+				Records: o.RecordsPerCore, Seed: o.Seed,
+				Intra: machine.IntraOptions{Workers: w},
+			})
+			if err != nil {
+				t.Fatalf("workers=%d %v: %v", w, k, err)
+			}
+			if got := DigestResult(res); got != want[k] {
+				t.Errorf("workers=%d %v: digest %s… != sequential %s…", w, k, got[:12], want[k][:12])
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"pipm/internal/audit"
 	"pipm/internal/config"
+	"pipm/internal/machine"
 	"pipm/internal/migration"
 	"pipm/internal/telemetry"
 	"pipm/internal/workload"
@@ -35,16 +36,20 @@ func (k RunKey) Short() string { return hex.EncodeToString(k[:6]) }
 // added to either struct in a future PR automatically changes the key space
 // instead of silently aliasing old entries.
 func KeyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64) RunKey {
-	return keyOf(cfg, wl, k, records, seed, telemetry.Options{}, audit.Options{})
+	return keyOf(cfg, wl, k, records, seed, telemetry.Options{}, audit.Options{}, machine.IntraOptions{})
 }
 
-// keyOf additionally folds telemetry and audit configurations into the key —
-// but only when enabled. Disabled runs hash exactly as before, so every
-// memoized key of a plain sweep stays valid; enabled runs get their own
-// entries because the engine must keep the collected output (or the audit
-// report, whose pass/fail semantics differ) alongside the Result.
+// keyOf additionally folds telemetry, audit and intra-parallel
+// configurations into the key — but only when enabled. Disabled runs hash
+// exactly as before, so every memoized key of a plain sweep stays valid;
+// enabled runs get their own entries because the engine must keep the
+// collected output (or the audit report, whose pass/fail semantics differ)
+// alongside the Result. Intra-parallel results are bit-identical to
+// sequential ones, but the engine configuration under test is still part of
+// the run identity — a determinism matrix that asks for 1- and 8-worker
+// runs must execute both, not serve one from the other's memo entry.
 func keyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64,
-	topt telemetry.Options, aopt audit.Options) RunKey {
+	topt telemetry.Options, aopt audit.Options, iopt machine.IntraOptions) RunKey {
 	h := sha256.New()
 	enc := canonEncoder{h: h}
 	enc.value("cfg", reflect.ValueOf(cfg))
@@ -57,6 +62,9 @@ func keyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, see
 	}
 	if aopt.Enabled() {
 		enc.value("audit", reflect.ValueOf(aopt))
+	}
+	if iopt.Enabled() {
+		enc.value("intra", reflect.ValueOf(iopt))
 	}
 	var key RunKey
 	h.Sum(key[:0])

@@ -52,6 +52,14 @@ type Options struct {
 	// observation-only — an audited run's Result is bit-identical to an
 	// unaudited one.
 	Audit audit.Options
+
+	// Intra selects the intra-run parallel engine (conservative PDES; see
+	// DESIGN.md §13) for every machine the suite builds. The zero value
+	// keeps the classic sequential engine and leaves run keys unchanged;
+	// enabled intra is folded into the key like Telemetry/Audit — results
+	// are bit-identical either way, but the engine configuration under test
+	// stays part of the run identity.
+	Intra machine.IntraOptions
 }
 
 // DefaultOptions returns the scaled-down sweep configuration: Table 2
@@ -150,14 +158,34 @@ func RunOneT(cfg config.Config, wl workload.Params, k migration.Kind, records, s
 // bit-identical to an unaudited run's.
 func RunOneA(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64,
 	topt telemetry.Options, aopt audit.Options) (Result, *telemetry.Output, audit.Report, error) {
+	return RunOneOpts(cfg, wl, k, records, seed, RunOpts{Telemetry: topt, Audit: aopt})
+}
+
+// RunOpts bundles every optional subsystem a single run can attach. Each
+// field's zero value disables its subsystem.
+type RunOpts struct {
+	Telemetry telemetry.Options
+	Audit     audit.Options
+	Intra     machine.IntraOptions
+}
+
+// RunOneOpts executes one simulation with the given optional subsystems
+// attached. Telemetry and audit are observers; intra parallelism changes
+// the engine but not one bit of the Result, the telemetry stream or the
+// audit report (DESIGN.md §13).
+func RunOneOpts(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64,
+	o RunOpts) (Result, *telemetry.Output, audit.Report, error) {
 	m, err := machine.New(cfg, k)
 	if err != nil {
 		return Result{}, nil, audit.Report{}, err
 	}
-	if err := m.EnableTelemetry(topt); err != nil {
+	if err := m.EnableTelemetry(o.Telemetry); err != nil {
 		return Result{}, nil, audit.Report{}, err
 	}
-	if err := m.EnableAuditor(aopt); err != nil {
+	if err := m.EnableAuditor(o.Audit); err != nil {
+		return Result{}, nil, audit.Report{}, err
+	}
+	if err := m.EnableIntraParallel(o.Intra); err != nil {
 		return Result{}, nil, audit.Report{}, err
 	}
 	am := m.AddressMap()

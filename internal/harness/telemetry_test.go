@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pipm/internal/audit"
+	"pipm/internal/machine"
 	"pipm/internal/migration"
 	"pipm/internal/sim"
 	"pipm/internal/telemetry"
@@ -142,18 +143,24 @@ func TestRunKeyTelemetryFolding(t *testing.T) {
 	o := QuickOptions()
 	wl := o.Workloads[0]
 	base := KeyOf(o.Cfg, wl, migration.PIPM, 100, 1)
-	disabled := keyOf(o.Cfg, wl, migration.PIPM, 100, 1, telemetry.Options{}, audit.Options{})
+	disabled := keyOf(o.Cfg, wl, migration.PIPM, 100, 1,
+		telemetry.Options{}, audit.Options{}, machine.IntraOptions{})
 	if base != disabled {
 		t.Fatal("zero telemetry options changed the run key")
 	}
 	enabled := keyOf(o.Cfg, wl, migration.PIPM, 100, 1,
-		telemetry.Options{SampleInterval: 10 * sim.Microsecond}, audit.Options{})
+		telemetry.Options{SampleInterval: 10 * sim.Microsecond}, audit.Options{}, machine.IntraOptions{})
 	if enabled == base {
 		t.Fatal("enabled telemetry did not change the run key")
 	}
 	audited := keyOf(o.Cfg, wl, migration.PIPM, 100, 1,
-		telemetry.Options{}, audit.Options{Mode: audit.Quantum}.WithDefaults())
+		telemetry.Options{}, audit.Options{Mode: audit.Quantum}.WithDefaults(), machine.IntraOptions{})
 	if audited == base || audited == enabled {
 		t.Fatal("enabled auditing did not get its own run key")
+	}
+	intra := keyOf(o.Cfg, wl, migration.PIPM, 100, 1,
+		telemetry.Options{}, audit.Options{}, machine.IntraOptions{Workers: 4})
+	if intra == base || intra == enabled || intra == audited {
+		t.Fatal("enabled intra parallelism did not get its own run key")
 	}
 }

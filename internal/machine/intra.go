@@ -1,0 +1,164 @@
+package machine
+
+// Intra-run parallel simulation (conservative PDES; DESIGN.md §13). The
+// machine partitions its event engine per host — partition 0 for the global
+// tick chains, partition 1+h for host h's cores — and runs it through
+// sim.RunWindowed: lookahead windows bounded by the minimum cross-host CXL
+// latency, the 100 ns scheduling quantum as the hard barrier, and a
+// prepare phase between windows that tops up per-core trace prefetch rings
+// on worker goroutines. Commits stay serialised in global (time, seq)
+// order, so an intra-parallel run's every stat, latency and event ordering
+// is bit-identical to the sequential engine's — the golden digests,
+// telemetry exports and audit reports do not move at any worker count.
+//
+// Trace generation is the only machine work that is state-independent (each
+// core's reader owns its generator and RNG), which is what makes it safe to
+// run off the commit loop; the walk itself is not parallelised because
+// cross-host effects apply at issue time (DESIGN.md §3) and therefore have
+// zero lookahead.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+
+	"pipm/internal/sim"
+	"pipm/internal/trace"
+)
+
+// IntraOptions configures intra-run parallelism for one machine.
+type IntraOptions struct {
+	// Workers is the number of prepare-phase worker goroutines. 0 disables
+	// the partitioned engine entirely (the classic single-heap engine runs);
+	// 1 runs the partitioned windowed engine without extra goroutines.
+	// Results are bit-identical across all values.
+	Workers int
+}
+
+// Enabled reports whether the partitioned engine is selected.
+func (o IntraOptions) Enabled() bool { return o.Workers > 0 }
+
+// EnableIntraParallel selects the intra-run parallel engine for this
+// machine. It must be called after New and before Run. With intra
+// parallelism enabled, the trace readers attached via SetTrace must not
+// share mutable state across hosts: readers of different hosts are advanced
+// concurrently during prepare phases. Every reader the workload catalog
+// builds satisfies this (one generator and RNG per core).
+func (m *Machine) EnableIntraParallel(o IntraOptions) error {
+	if m.ran {
+		return fmt.Errorf("machine: EnableIntraParallel after Run")
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("machine: IntraOptions.Workers = %d, want ≥ 0", o.Workers)
+	}
+	m.intra = o
+	return nil
+}
+
+// ringDepth is the per-core trace prefetch ring capacity: two full step
+// batches, so one quantum's worth of demand never drains a freshly filled
+// ring and refills amortise across hundreds of windows.
+const ringDepth = 2 * maxBatch
+
+// setupIntra partitions the engine and installs the per-host prepare hooks.
+// Called from Run before the first event is scheduled.
+func (m *Machine) setupIntra() {
+	m.eng.Partition(1 + m.cfg.Hosts)
+	// Minimum latency of any cross-host effect: one CXL link traversal.
+	m.eng.SetLookahead(m.cfg.CXL.LinkLatency * sim.Time(1+m.cfg.CXL.SwitchHops))
+	m.eng.SetWorkers(m.intra.Workers)
+	for _, hs := range m.hosts {
+		hs := hs
+		for _, c := range hs.cores {
+			c.ring = make([]trace.Record, ringDepth)
+		}
+		m.eng.SetPrepare(1+hs.id, hs.ringsLow, hs.refillRings)
+	}
+}
+
+// ringsLow reports whether any of the host's cores wants a prefetch refill:
+// the gate that keeps worker dispatch off windows with nothing to do.
+func (hs *host) ringsLow(sim.Time) bool {
+	for _, c := range hs.cores {
+		if c.ring != nil && !c.srcDone && c.ringLen <= ringDepth/2 {
+			return true
+		}
+	}
+	return false
+}
+
+// refillRings tops up the host's drained prefetch rings. Runs on a prepare
+// worker; it touches only this host's readers and rings, never the engine.
+func (hs *host) refillRings(sim.Time) {
+	for _, c := range hs.cores {
+		if c.ring != nil && !c.srcDone && c.ringLen <= ringDepth/2 {
+			c.refillRing()
+		}
+	}
+}
+
+// refillRing pulls records from the core's reader until the ring is full or
+// the reader is exhausted. Also the commit-path fallback when a core drains
+// its ring faster than prepare phases refill it (prepare never runs
+// concurrently with commits, so both callers are serialised).
+func (c *coreState) refillRing() {
+	for c.ringLen < len(c.ring) {
+		rec, ok := c.rd.Next()
+		if !ok {
+			c.srcDone = true
+			return
+		}
+		i := c.ringHead + c.ringLen
+		if i >= len(c.ring) {
+			i -= len(c.ring)
+		}
+		c.ring[i] = rec
+		c.ringLen++
+	}
+}
+
+// nextRec yields the core's next trace record: from the prefetch ring when
+// intra parallelism is on, straight from the reader otherwise.
+func (c *coreState) nextRec() (trace.Record, bool) {
+	if c.ring == nil {
+		return c.rd.Next()
+	}
+	if c.ringLen == 0 {
+		if c.srcDone {
+			return trace.Record{}, false
+		}
+		c.refillRing()
+		if c.ringLen == 0 {
+			return trace.Record{}, false
+		}
+	}
+	rec := c.ring[c.ringHead]
+	c.ringHead++
+	if c.ringHead == len(c.ring) {
+		c.ringHead = 0
+	}
+	c.ringLen--
+	return rec, true
+}
+
+// envIntra caches the PIPM_INTRA_WORKERS override: a CI/debug lever that
+// forces the intra-parallel engine onto every machine whose caller didn't
+// choose one, so existing suites (goldens, walk tests, audited sweeps) can
+// run wholesale on the partitioned engine. Because results are
+// bit-identical, the override never invalidates memoised run keys.
+var envIntra struct {
+	once    sync.Once
+	workers int
+}
+
+func envIntraWorkers() int {
+	envIntra.once.Do(func() {
+		if s := os.Getenv("PIPM_INTRA_WORKERS"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				envIntra.workers = n
+			}
+		}
+	})
+	return envIntra.workers
+}

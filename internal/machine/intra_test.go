@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"pipm/internal/migration"
+)
+
+// fingerprint summarises every observable measurement of a finished run:
+// makespan, IPC, and the full per-host stat block. Two runs with equal
+// fingerprints retired the same instructions with the same timing through
+// the same migration activity.
+func fingerprint(m *Machine) string {
+	s := fmt.Sprintf("exec=%d ipc=%.9f events=%d", m.ExecTime(), m.IPC(), m.eng.EventsRun())
+	for h := 0; h < m.cfg.Hosts; h++ {
+		s += fmt.Sprintf(" h%d=%+v", h, *m.col.Host(h))
+	}
+	s += fmt.Sprintf(" prom=%d dem=%d lines=%d", m.col.Promotions, m.col.Demotions, m.col.LinesMoved)
+	return s
+}
+
+// TestIntraParallelBitIdentical runs the same contested multi-host workload
+// on the sequential engine and on the PDES engine at 1, 2, 4 and 8 workers,
+// and requires identical fingerprints: the partitioned windowed engine must
+// commit exactly the sequential event order (DESIGN.md §13).
+func TestIntraParallelBitIdentical(t *testing.T) {
+	cfg := testCfg()
+	cfg.Hosts = 4
+	for _, k := range []migration.Kind{migration.Native, migration.Memtis, migration.PIPM} {
+		base := build(t, cfg, k)
+		attachContested(base, 4000)
+		run(t, base)
+		want := fingerprint(base)
+
+		for _, workers := range []int{1, 2, 4, 8} {
+			m := build(t, cfg, k)
+			if err := m.EnableIntraParallel(IntraOptions{Workers: workers}); err != nil {
+				t.Fatal(err)
+			}
+			attachContested(m, 4000)
+			run(t, m)
+			if got := fingerprint(m); got != want {
+				t.Errorf("%v: intra workers=%d diverged from sequential engine:\n got %s\nwant %s",
+					k, workers, got, want)
+			}
+			if m.eng.Partitions() != 1+cfg.Hosts {
+				t.Errorf("%v: engine has %d partitions, want %d", k, m.eng.Partitions(), 1+cfg.Hosts)
+			}
+		}
+	}
+}
+
+// TestIntraParallelPartitionedPattern repeats the bit-identity check on the
+// PIPM-friendly partitioned access pattern, where per-host windows overlap
+// least and the prepare phase does the most useful work.
+func TestIntraParallelPartitionedPattern(t *testing.T) {
+	cfg := testCfg()
+	base := build(t, cfg, migration.PIPM)
+	attachPartitioned(base, 4000)
+	run(t, base)
+	want := fingerprint(base)
+
+	m := build(t, cfg, migration.PIPM)
+	if err := m.EnableIntraParallel(IntraOptions{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	attachPartitioned(m, 4000)
+	run(t, m)
+	if got := fingerprint(m); got != want {
+		t.Errorf("partitioned pattern diverged under intra parallelism:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestEnableIntraParallelValidation(t *testing.T) {
+	m := build(t, testCfg(), migration.Native)
+	if err := m.EnableIntraParallel(IntraOptions{Workers: -1}); err == nil {
+		t.Error("negative worker count accepted")
+	}
+	attachPartitioned(m, 10)
+	run(t, m)
+	if err := m.EnableIntraParallel(IntraOptions{Workers: 2}); err == nil {
+		t.Error("EnableIntraParallel after Run accepted")
+	}
+}

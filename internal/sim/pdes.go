@@ -1,0 +1,280 @@
+package sim
+
+// Partitioned conservative-synchronisation mode for Engine (PDES).
+//
+// Partition splits the event queue into one heap per partition — in the
+// simulator, partition 0 carries the global barrier chains (scheduling
+// quanta, kernel epochs, telemetry/audit ticks) and partition 1+h carries
+// host h's core steps. The partitioned engine still commits events one at a
+// time in ascending (At, seq) order — the exact order the classic single
+// heap produces — so results are bit-identical at any worker count by
+// construction. What runs in parallel is the prepare phase between commit
+// windows: per-partition hooks (trace prefetch in the machine) that touch
+// only state the commit phase reads through the partition's own events.
+//
+// RunWindowed advances through lookahead windows: the window opens at the
+// global minimum event time and closes at min(open + lookahead, next
+// partition-0 event) — partition 0 is the hard barrier, so no host window
+// ever crosses a scheduling quantum. At each window boundary the prepare
+// hooks of partitions that report demand run, in parallel when workers > 1,
+// and then the window's events commit serially in global order.
+//
+// Cross-partition messages (Send) are exchanged through a deterministic
+// ordered queue: deliveries are flushed before the next commit, ordered by
+// (deliver-time, send order), independent of worker count and window size —
+// senders commit in the same global order in every mode, so send order
+// itself is deterministic. The machine's inline coherence actions do not use
+// Send —
+// they mutate remote state at issue time and stay inside committed events —
+// but engine-level tests and the window-scheduler fuzz target drive it, and
+// a future relaxed-consistency mode exchanges its boundary traffic here.
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+)
+
+// partition is one event sub-queue plus its optional prepare hooks.
+type partition struct {
+	events eventHeap
+	// need reports whether the partition wants a prepare call before the
+	// window up to horizon commits; nil means "whenever fill is set".
+	need func(horizon Time) bool
+	// fill is the prepare hook. It may run on a worker goroutine, never
+	// concurrently with commits or with another call to itself, and must not
+	// touch the engine or any state a committed event of another partition
+	// reads or writes.
+	fill func(horizon Time)
+}
+
+// msg is one undelivered cross-partition message. The sending partition is
+// kept for diagnostics only: commits are serialised in global order, so send
+// order alone already fixes same-time delivery order in every mode.
+type msg struct {
+	at  Time
+	fn  func()
+	src int
+	dst int
+}
+
+// Partition switches the engine into partitioned mode with n ≥ 2 sub-queues.
+// Partition 0 is the barrier partition: its next event bounds every window.
+// Events already scheduled move to partition 0, keeping their order — the
+// same place a pre-run At call would put them.
+func (e *Engine) Partition(n int) {
+	if n < 2 {
+		panic("sim: Partition needs at least 2 partitions")
+	}
+	if e.parts != nil {
+		panic("sim: Partition called twice")
+	}
+	e.parts = make([]*partition, n)
+	for i := range e.parts {
+		e.parts[i] = &partition{}
+	}
+	e.parts[0].events, e.events = e.events, nil
+}
+
+// Partitions reports the partition count (0 in classic mode).
+func (e *Engine) Partitions() int { return len(e.parts) }
+
+// AtPart schedules fn at time t on partition p. In classic mode it is At.
+// Events scheduled by fn itself stay on p unless they override in turn, so a
+// chain seeded on a partition never migrates off it.
+func (e *Engine) AtPart(p int, t Time, fn func()) {
+	if e.parts == nil {
+		e.At(t, fn)
+		return
+	}
+	saved := e.cur
+	e.cur = p
+	e.At(t, fn)
+	e.cur = saved
+}
+
+// SetLookahead bounds how far past the window's opening time the commit
+// phase may run before the next prepare exchange. The simulator uses the
+// minimum cross-host CXL latency; correctness never depends on the value
+// because commits are serialised in global order regardless.
+func (e *Engine) SetLookahead(d Time) { e.lookahead = d }
+
+// SetWorkers sets how many goroutines RunWindowed's prepare phase may use.
+// Values ≤ 1 keep the whole run on the calling goroutine.
+func (e *Engine) SetWorkers(n int) { e.workers = n }
+
+// SetPrepare installs partition p's prepare hooks; see partition for the
+// contract. need == nil runs fill at every window.
+func (e *Engine) SetPrepare(p int, need func(Time) bool, fill func(Time)) {
+	e.parts[p].need, e.parts[p].fill = need, fill
+}
+
+// Send schedules fn onto partition dst at time t through the cross-partition
+// message queue. Deliveries are flushed before the next commit in
+// (t, send order) — after the sending event's direct At children at the same
+// instant — so the merged order is identical for any worker count or window
+// size. In classic mode dst is ignored and the same ordering rule applies
+// against the single heap.
+func (e *Engine) Send(dst int, t Time, fn func()) {
+	if t < e.now {
+		panic("sim: message sent into the past")
+	}
+	if e.parts != nil && (dst < 0 || dst >= len(e.parts)) {
+		panic("sim: Send to unknown partition")
+	}
+	e.msgs = append(e.msgs, msg{at: t, fn: fn, src: e.cur, dst: dst})
+}
+
+// flushMsgs converts every pending message into a scheduled event. The sort
+// is stable, so same-time messages deliver in send order — the same order in
+// classic and partitioned mode, because senders commit in the same global
+// order either way.
+func (e *Engine) flushMsgs() {
+	sort.SliceStable(e.msgs, func(i, j int) bool {
+		return e.msgs[i].at < e.msgs[j].at
+	})
+	saved := e.cur
+	for _, m := range e.msgs {
+		e.cur = m.dst
+		e.At(m.at, m.fn)
+	}
+	e.cur = saved
+	e.msgs = e.msgs[:0]
+}
+
+// minPart returns the partition holding the globally earliest event by
+// (At, seq), or -1 when every heap is empty. A linear scan over heap heads:
+// the partition count is 1 + hosts, far too small for a tournament tree to
+// pay for itself.
+func (e *Engine) minPart() int {
+	best := -1
+	var bt Time
+	var bs uint64
+	for i, p := range e.parts {
+		if len(p.events) == 0 {
+			continue
+		}
+		h := p.events[0]
+		if best < 0 || h.At < bt || (h.At == bt && h.seq < bs) {
+			best, bt, bs = i, h.At, h.seq
+		}
+	}
+	return best
+}
+
+// stepPart commits partition p's head event.
+func (e *Engine) stepPart(p int) {
+	ps := e.parts[p]
+	ev := heap.Pop(&ps.events).(*Event)
+	e.now = ev.At
+	e.cur = p
+	e.ran++
+	fn := ev.Fn
+	ev.Fn = nil
+	if len(e.free) < maxFree {
+		e.free = append(e.free, ev)
+	}
+	fn()
+}
+
+// RunWindowed executes all pending events to completion. In classic mode —
+// or with no lookahead configured — it is Run. In partitioned mode it
+// alternates prepare phases (parallel when workers > 1) with serial commit
+// windows bounded by the lookahead and the next partition-0 barrier event.
+func (e *Engine) RunWindowed() {
+	if e.parts == nil || e.lookahead <= 0 {
+		e.Run()
+		return
+	}
+	var pool *preparePool
+	if e.workers > 1 {
+		pool = newPreparePool(e.workers, len(e.parts))
+		defer pool.close()
+	}
+	for {
+		if len(e.msgs) > 0 {
+			e.flushMsgs()
+		}
+		p := e.minPart()
+		if p < 0 {
+			return
+		}
+		horizon := e.parts[p].events[0].At + e.lookahead
+		// Hard barrier: a window never runs past the next global event
+		// (quantum re-arms, kernel epochs, telemetry/audit ticks live on
+		// partition 0), so prepare hooks always observe quantum-consistent
+		// demand.
+		if g := e.parts[0].events; len(g) > 0 && g[0].At < horizon {
+			horizon = g[0].At
+		}
+		e.prepare(pool, horizon)
+		for {
+			p := e.minPart()
+			if p < 0 || e.parts[p].events[0].At > horizon {
+				break
+			}
+			e.stepPart(p)
+			if len(e.msgs) > 0 {
+				e.flushMsgs()
+			}
+		}
+	}
+}
+
+// prepare runs the fill hook of every partition reporting demand. With a
+// pool, demanding partitions fill concurrently; the barrier at the end means
+// commits never overlap a fill.
+func (e *Engine) prepare(pool *preparePool, horizon Time) {
+	if pool == nil {
+		for _, p := range e.parts {
+			if p.fill != nil && (p.need == nil || p.need(horizon)) {
+				p.fill(horizon)
+			}
+		}
+		return
+	}
+	n := 0
+	for _, p := range e.parts {
+		if p.fill != nil && (p.need == nil || p.need(horizon)) {
+			pool.dispatch(p.fill, horizon)
+			n++
+		}
+	}
+	if n > 0 {
+		pool.wait()
+	}
+}
+
+// preparePool is a fixed set of worker goroutines serving prepare jobs. It
+// exists for the lifetime of one RunWindowed call; dispatch/wait pairs form
+// the only synchronisation with the commit loop.
+type preparePool struct {
+	jobs chan prepareJob
+	wg   sync.WaitGroup
+}
+
+type prepareJob struct {
+	fill    func(Time)
+	horizon Time
+}
+
+func newPreparePool(workers, queue int) *preparePool {
+	p := &preparePool{jobs: make(chan prepareJob, queue)}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for j := range p.jobs {
+				j.fill(j.horizon)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *preparePool) dispatch(fill func(Time), horizon Time) {
+	p.wg.Add(1)
+	p.jobs <- prepareJob{fill: fill, horizon: horizon}
+}
+
+func (p *preparePool) wait()  { p.wg.Wait() }
+func (p *preparePool) close() { close(p.jobs) }

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// progOp is one root event of a tiny scheduler program: it fires at `at` on
+// partition `part`, optionally schedules a child on its own partition via
+// After, and optionally Sends a message to another partition. The fuzz
+// target and the unit tests share this interpreter so every engine mode can
+// be compared on the same program.
+type progOp struct {
+	part    int
+	at      Time
+	child   bool
+	childD  Time
+	send    bool
+	sendD   Time
+	sendDst int
+}
+
+// decodeProgram turns fuzz bytes into a bounded program: byte 0 picks the
+// partition count (2–4), then each 5-byte chunk is one root event.
+func decodeProgram(data []byte) (int, []progOp) {
+	if len(data) < 6 {
+		return 0, nil
+	}
+	nparts := 2 + int(data[0])%3
+	data = data[1:]
+	var ops []progOp
+	for len(data) >= 5 && len(ops) < 64 {
+		ops = append(ops, progOp{
+			part:    int(data[0]) % nparts,
+			at:      Time(data[1]),
+			child:   data[2]&1 != 0,
+			childD:  Time(data[2] >> 1),
+			send:    data[3]&1 != 0,
+			sendD:   Time(data[3] >> 1),
+			sendDst: int(data[4]) % nparts,
+		})
+		data = data[5:]
+	}
+	return nparts, ops
+}
+
+// execMode selects how the interpreter drives the engine.
+type execMode int
+
+const (
+	modeClassic  execMode = iota // single heap, Run
+	modeStepped                  // partitioned, Run (one event per Step)
+	modeWindowed                 // partitioned, RunWindowed
+)
+
+// execProgram runs ops under the given mode and returns the committed order
+// as "<id>@<time>" entries — the observable the determinism contract pins.
+func execProgram(nparts int, ops []progOp, mode execMode, workers int, lookahead Time) []string {
+	e := NewEngine()
+	if mode != modeClassic {
+		e.Partition(nparts)
+		e.SetLookahead(lookahead)
+		e.SetWorkers(workers)
+		// An engine-only prepare hook so the windowed runner exercises its
+		// demand gating (and, with workers > 1, the worker pool). The hook
+		// deliberately touches nothing the events read.
+		fills := 0
+		e.SetPrepare(1, func(Time) bool { return true }, func(Time) { fills++ })
+	}
+	var log []string
+	record := func(id string) { log = append(log, fmt.Sprintf("%s@%d", id, e.Now())) }
+	for i, op := range ops {
+		i, op := i, op
+		e.AtPart(op.part, op.at, func() {
+			record(fmt.Sprintf("r%d", i))
+			if op.child {
+				e.After(op.childD, func() { record(fmt.Sprintf("c%d", i)) })
+			}
+			if op.send {
+				e.Send(op.sendDst, e.Now()+op.sendD, func() { record(fmt.Sprintf("s%d", i)) })
+			}
+		})
+	}
+	if mode == modeWindowed {
+		e.RunWindowed()
+	} else {
+		e.Run()
+	}
+	if e.Pending() != 0 {
+		panic("execProgram: events left pending after run")
+	}
+	return log
+}
+
+// referenceProgram is a hand-written program covering the interesting
+// collisions: same-time events across partitions, barrier-partition events,
+// children landing on window edges, and same-time cross-partition sends.
+func referenceProgram() (int, []progOp) {
+	return 4, []progOp{
+		{part: 1, at: 10, child: true, childD: 5, send: true, sendD: 0, sendDst: 2},
+		{part: 2, at: 10, child: true, childD: 0, send: true, sendD: 7, sendDst: 1},
+		{part: 3, at: 10, send: true, sendD: 0, sendDst: 0},
+		{part: 0, at: 12},
+		{part: 0, at: 40},
+		{part: 1, at: 12, child: true, childD: 30},
+		{part: 2, at: 39, send: true, sendD: 1, sendDst: 3},
+		{part: 3, at: 200, child: true, childD: 1},
+	}
+}
+
+// TestWindowedMatchesSequential pins the tentpole contract at the engine
+// level: the partitioned stepped engine and the windowed engine at several
+// worker counts and lookaheads all commit the exact event order the classic
+// single heap produces.
+func TestWindowedMatchesSequential(t *testing.T) {
+	nparts, ops := referenceProgram()
+	want := execProgram(nparts, ops, modeClassic, 0, 0)
+	if len(want) == 0 {
+		t.Fatal("reference program committed nothing")
+	}
+	if got := execProgram(nparts, ops, modeStepped, 0, 0); strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("partitioned stepped order diverged:\n got %v\nwant %v", got, want)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, la := range []Time{1, 3, 50, 1000} {
+			got := execProgram(nparts, ops, modeWindowed, workers, la)
+			if strings.Join(got, " ") != strings.Join(want, " ") {
+				t.Errorf("windowed workers=%d lookahead=%d diverged:\n got %v\nwant %v",
+					workers, la, got, want)
+			}
+		}
+	}
+}
+
+// TestPartitionAdoptsPreScheduledEvents checks that events scheduled before
+// Partition move to the barrier partition and still run, in order.
+func TestPartitionAdoptsPreScheduledEvents(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(5, func() { order = append(order, 5) })
+	e.At(2, func() { order = append(order, 2) })
+	e.Partition(3)
+	e.AtPart(1, 3, func() { order = append(order, 3) })
+	e.SetLookahead(10)
+	e.RunWindowed()
+	if fmt.Sprint(order) != "[2 3 5]" {
+		t.Errorf("adopted events ran as %v, want [2 3 5]", order)
+	}
+	if e.Partitions() != 3 {
+		t.Errorf("Partitions() = %d, want 3", e.Partitions())
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("Partition(1)", func() { NewEngine().Partition(1) })
+	expectPanic("double Partition", func() {
+		e := NewEngine()
+		e.Partition(2)
+		e.Partition(2)
+	})
+	expectPanic("Send to unknown partition", func() {
+		e := NewEngine()
+		e.Partition(2)
+		e.Send(7, 10, func() {})
+	})
+	expectPanic("Send into the past", func() {
+		e := NewEngine()
+		e.Partition(2)
+		e.AtPart(1, 10, func() { e.Send(0, 5, func() {}) })
+		e.Run()
+	})
+}
+
+// TestSendSameInstantOrdering pins the merge rule for messages: same-time
+// deliveries arrive in send order — after the sending events' direct At
+// children at that instant — identically in every mode.
+func TestSendSameInstantOrdering(t *testing.T) {
+	prog := []progOp{
+		// Two roots at t=20 on different partitions, both sending to t=25.
+		// The r0/r1 commit order (seq order) must fix the s0/s1 order.
+		{part: 2, at: 20, send: true, sendD: 5, sendDst: 1},
+		{part: 1, at: 20, send: true, sendD: 5, sendDst: 2},
+		// A third event already scheduled at t=25 via At: messages flush
+		// after commits begin, so delivered events get later seqs.
+		{part: 1, at: 25},
+	}
+	want := execProgram(3, prog, modeClassic, 0, 0)
+	for _, mode := range []execMode{modeStepped, modeWindowed} {
+		got := execProgram(3, prog, mode, 2, 4)
+		if strings.Join(got, " ") != strings.Join(want, " ") {
+			t.Errorf("mode %d send ordering diverged:\n got %v\nwant %v", mode, got, want)
+		}
+	}
+}
+
+// TestPrepareDemandGating checks need/fill wiring: fill runs exactly when
+// need reports demand, with non-decreasing horizons, and never after the
+// last window.
+func TestPrepareDemandGating(t *testing.T) {
+	e := NewEngine()
+	e.Partition(2)
+	e.SetLookahead(10)
+	var horizons []Time
+	wants := 0
+	e.SetPrepare(1,
+		func(Time) bool { wants++; return wants%2 == 1 },
+		func(h Time) { horizons = append(horizons, h) })
+	for i := 0; i < 6; i++ {
+		e.AtPart(1, Time(i*100), func() {})
+	}
+	e.RunWindowed()
+	if len(horizons) == 0 {
+		t.Fatal("fill hook never ran")
+	}
+	if len(horizons) >= wants {
+		t.Errorf("fill ran %d times for %d need calls — demand gate ignored", len(horizons), wants)
+	}
+	for i := 1; i < len(horizons); i++ {
+		if horizons[i] < horizons[i-1] {
+			t.Errorf("fill horizons went backwards: %v", horizons)
+		}
+	}
+}
+
+// TestRunUntilPartitioned checks the deadline runner against partitioned
+// heaps: events past the deadline stay queued and the clock lands on the
+// deadline.
+func TestRunUntilPartitioned(t *testing.T) {
+	e := NewEngine()
+	e.Partition(2)
+	ran := 0
+	e.AtPart(1, 10, func() { ran++ })
+	e.AtPart(0, 50, func() { ran++ })
+	e.RunUntil(30)
+	if ran != 1 || e.Pending() != 1 {
+		t.Fatalf("after RunUntil(30): ran=%d pending=%d, want 1/1", ran, e.Pending())
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock at %d, want 30", e.Now())
+	}
+	e.RunUntil(100)
+	if ran != 2 || e.Pending() != 0 {
+		t.Fatalf("after RunUntil(100): ran=%d pending=%d, want 2/0", ran, e.Pending())
+	}
+}
+
+// FuzzWindowScheduler feeds random scheduler programs through every engine
+// mode and fails if any merged commit order differs from the classic
+// sequential heap order — the bit-identity contract of DESIGN.md §13 stated
+// as a property.
+func FuzzWindowScheduler(f *testing.F) {
+	f.Add([]byte("\x02piped-window-barrier-seed-one!!"))
+	f.Add([]byte("\x01AAAAABBBBBCCCCCDDDDDEEEEEFFFFF"))
+	f.Add([]byte{3, 1, 10, 11, 15, 2, 2, 10, 0, 1, 1, 0, 12, 3, 0, 0, 0, 40, 2, 9, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nparts, ops := decodeProgram(data)
+		if len(ops) == 0 {
+			t.Skip()
+		}
+		want := strings.Join(execProgram(nparts, ops, modeClassic, 0, 0), " ")
+		if got := strings.Join(execProgram(nparts, ops, modeStepped, 0, 0), " "); got != want {
+			t.Errorf("stepped order diverged:\n got %s\nwant %s", got, want)
+		}
+		la := Time(1 + int(data[0])%97)
+		for _, v := range []struct {
+			workers int
+			la      Time
+		}{{1, 1}, {1, la}, {2, la}, {4, 256}} {
+			got := strings.Join(execProgram(nparts, ops, modeWindowed, v.workers, v.la), " ")
+			if got != want {
+				t.Errorf("windowed workers=%d lookahead=%d diverged:\n got %s\nwant %s",
+					v.workers, v.la, got, want)
+			}
+		}
+	})
+}
