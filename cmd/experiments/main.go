@@ -69,6 +69,7 @@ func main() {
 		tsPath    = flag.String("timeseries", "", "write per-run interval time-series to this file (JSON, or CSV if the path ends in .csv)")
 		trPath    = flag.String("trace", "", "write per-run protocol event traces to this file (Chrome trace-event JSON, loadable in ui.perfetto.dev)")
 		sampleInt = flag.Duration("sample-interval", 10*time.Microsecond, "time-series sampling interval in simulated time (with -timeseries)")
+		storeDir  = flag.String("store", os.Getenv("PIPM_STORE"), "persistent result store directory: completed runs are written back and later sweeps load them instead of re-simulating (default $PIPM_STORE)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 
 		listSchemes   = flag.Bool("list-schemes", false, "list registered placement schemes and exit")
@@ -109,6 +110,18 @@ func main() {
 		fatal(err)
 	}
 
+	// Probe every output path up front for the same reason: an unwritable
+	// -json/-timeseries/-trace destination must fail in milliseconds, not
+	// after the sweep has finished and the data is about to be lost.
+	for _, path := range []string{*jsonPath, *tsPath, *trPath} {
+		if path == "" {
+			continue
+		}
+		if err := pipm.ProbeOutputFile(path); err != nil {
+			fatal(err)
+		}
+	}
+
 	opt := pipm.DefaultSuiteOptions()
 	if *quick {
 		opt = pipm.QuickSuiteOptions()
@@ -143,6 +156,13 @@ func main() {
 	}
 	if *trPath != "" {
 		opt.Telemetry.Trace = true
+	}
+	if *storeDir != "" {
+		st, err := pipm.OpenStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Store = st
 	}
 	suite := pipm.NewSuite(opt)
 
@@ -212,22 +232,20 @@ func main() {
 		}
 		fmt.Fprintf(stderr, "[trace written to %s]\n", *trPath)
 	}
+	if st, ok := suite.StoreStats(); ok {
+		fmt.Fprintf(stderr, "[store %s: %d hits, %d misses, %d corrupt, %d saves]\n",
+			st.Dir, st.Hits, st.Misses, st.Corrupt, st.Saves)
+	}
 	if failed != nil {
 		fatal(fmt.Errorf("%s: %w", failed.id, failed.err))
 	}
 }
 
-// writeTo streams one export into a freshly-created file.
+// writeTo streams one export into path via a temp file + rename, so a crash
+// or a failed export never leaves a truncated artefact where a previous good
+// one stood.
 func writeTo(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return pipm.WriteToAtomic(path, write)
 }
 
 // artefact is one requested experiment: its id, buffered stdout content,
@@ -288,6 +306,9 @@ type benchReport struct {
 	MemoHits       int              `json:"memo_hits"`
 	RunWallMSTotal float64          `json:"run_wall_ms_total"`
 	WallMSTotal    float64          `json:"wall_ms_total"`
+	// Store is the persistent result store's traffic for this invocation,
+	// present only when -store (or $PIPM_STORE) attached one.
+	Store *pipm.StoreStats `json:"store,omitempty"`
 	// IntraBench is the sequential-vs-PDES throughput pair recorded when
 	// -intra-parallel is set (see measureIntra).
 	IntraBench *intraBench `json:"intra_bench,omitempty"`
@@ -396,11 +417,14 @@ func writeBench(path string, s *pipm.Suite, opt pipm.SuiteOptions,
 		rep.MemoHits += r.MemoHits
 		rep.RunWallMSTotal += r.WallMS
 	}
+	if st, ok := s.StoreStats(); ok {
+		rep.Store = &st
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return pipm.WriteFileAtomic(path, append(data, '\n'))
 }
 
 func run(w io.Writer, s *pipm.Suite, opt pipm.SuiteOptions, id string) error {

@@ -42,6 +42,7 @@ func main() {
 		tsPath    = flag.String("timeseries", "", "write the run's interval time-series to this file (JSON, or CSV if the path ends in .csv)")
 		trPath    = flag.String("trace", "", "write the run's protocol event trace to this file (Chrome trace-event JSON, loadable in ui.perfetto.dev)")
 		sampleInt = flag.Duration("sample-interval", 10*time.Microsecond, "time-series sampling interval in simulated time (with -timeseries)")
+		storeDir  = flag.String("store", os.Getenv("PIPM_STORE"), "persistent result store directory: a previously simulated identical run is loaded instead of re-simulated (default $PIPM_STORE; ignored with -tracedir)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 
 		listSchemes   = flag.Bool("list-schemes", false, "list registered placement schemes and exit")
@@ -62,6 +63,16 @@ func main() {
 		go func() {
 			fmt.Fprintln(os.Stderr, "pipmsim: pprof:", http.ListenAndServe(*pprofAddr, nil))
 		}()
+	}
+
+	// Fail fast on unwritable export paths — before the simulation, not
+	// after it.
+	for _, path := range []string{*tsPath, *trPath} {
+		if path != "" {
+			if err := pipm.ProbeOutputFile(path); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	wl, err := pipm.WorkloadByName(*wlName)
@@ -100,9 +111,28 @@ func main() {
 	var res pipm.Result
 	var tout *pipm.TelemetryOutput
 	var err2 error
-	if *tracedir != "" {
+	switch {
+	case *tracedir != "":
+		// Replayed traces have no canonical run key (the trace files are not
+		// part of any hashable recipe), so the store never applies here.
 		res, tout, err2 = runFromTraces(cfg, k, *tracedir, topt, *intraPar)
-	} else {
+	case *storeDir != "":
+		// Route through the store-backed runner: an identical earlier run —
+		// from this tool or a whole experiments sweep — answers from disk.
+		var st *pipm.ResultStore
+		if st, err2 = pipm.OpenStore(*storeDir); err2 == nil {
+			runner := pipm.NewRunner(pipm.SuiteOptions{Store: st})
+			req := pipm.RunRequest{Cfg: cfg, WL: wl, Scheme: k, Records: *records, Seed: *seed,
+				Telemetry: topt, Intra: pipm.IntraOptions{Workers: *intraPar}}
+			res, err2 = runner.Get(req)
+			tout = runner.Telemetry(req)
+			if stats, ok := runner.StoreStats(); ok && err2 == nil {
+				if stats.Hits > 0 {
+					fmt.Fprintf(os.Stderr, "[store hit: loaded from %s]\n", stats.Dir)
+				}
+			}
+		}
+	default:
 		res, tout, err2 = pipm.RunWithOptions(cfg, wl, k, *records, *seed,
 			pipm.RunOptions{Telemetry: topt, Intra: pipm.IntraOptions{Workers: *intraPar}})
 	}
@@ -165,17 +195,10 @@ func exportTelemetry(tout *pipm.TelemetryOutput, wl string, k pipm.Scheme, tsPat
 	return nil
 }
 
-// writeTo streams one export into a freshly-created file.
+// writeTo streams one export into path atomically (temp file + rename), so
+// a failed export never clobbers a previous good file.
 func writeTo(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return pipm.WriteToAtomic(path, write)
 }
 
 // runFromTraces replays tracegen -outdir output through the machine.

@@ -29,6 +29,7 @@ import (
 	"pipm/internal/audit"
 	"pipm/internal/harness"
 	"pipm/internal/migration"
+	"pipm/internal/store"
 	"pipm/internal/validate"
 	"pipm/internal/workload"
 )
@@ -45,8 +46,18 @@ func main() {
 		auditEvery = flag.Int("audit-interval", 0, "quanta between periodic sweeps (0 = default)")
 		workloads  = flag.String("workloads", "", "comma-separated workload subset (default: the tier's set)")
 		schemes    = flag.String("schemes", "", "comma-separated scheme subset (default: all registered)")
+		storeDir   = flag.String("store", os.Getenv("PIPM_STORE"), "persistent result store directory for the unaudited phases (default $PIPM_STORE; audited runs always execute)")
 	)
 	flag.Parse()
+
+	// Fail fast on an unwritable report path: the validation pass can take
+	// minutes, and its verdict must not be lost to a typo discovered at the
+	// end.
+	if *jsonPath != "" {
+		if err := store.ProbeFile(*jsonPath); err != nil {
+			fatal(err)
+		}
+	}
 
 	o := validate.Options{Harness: harness.DefaultOptions(), Seeds: *seeds}
 	if *quick {
@@ -59,6 +70,13 @@ func main() {
 	o.Harness.Workers = *parallel
 	if *progress {
 		o.Harness.Progress = os.Stderr
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		o.Harness.Store = st
 	}
 
 	mode, err := audit.ParseMode(*auditMode)
@@ -98,14 +116,7 @@ func main() {
 	rep.Render(os.Stdout)
 
 	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := rep.WriteJSON(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := store.WriteToAtomic(*jsonPath, rep.WriteJSON); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "[validate] wrote %s\n", *jsonPath)

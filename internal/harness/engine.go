@@ -13,6 +13,7 @@ import (
 	"pipm/internal/machine"
 	"pipm/internal/migration"
 	"pipm/internal/sim"
+	"pipm/internal/store"
 	"pipm/internal/telemetry"
 	"pipm/internal/workload"
 )
@@ -64,6 +65,9 @@ type RunStats struct {
 	Instructions int64   `json:"instructions"`
 	MIPS         float64 `json:"mips"`      // simulated instructions per wall-µs
 	MemoHits     int     `json:"memo_hits"` // extra requests served from the memo
+	// StoreHit marks a run answered from the persistent result store
+	// instead of simulating; WallMS is then the disk load, not a run.
+	StoreHit bool `json:"store_hit,omitempty"`
 }
 
 // engine is the run-graph scheduler: a RunKey-addressed memo with
@@ -77,6 +81,12 @@ type engine struct {
 	workers  int
 	sem      chan struct{}
 	progress io.Writer
+	// store, when non-nil, is the persistent layer under the memo: a memo
+	// miss first consults the disk store and only simulates on a store
+	// miss (or a corrupt entry); completed simulations are written back.
+	// Audited requests bypass the store entirely — the auditor's value is
+	// in executing its sweeps, which a disk read would silently skip.
+	store *store.Store
 
 	mu        sync.Mutex
 	runs      map[RunKey]*runEntry
@@ -94,7 +104,7 @@ type runEntry struct {
 	report audit.Report      // zero unless the request enabled auditing
 }
 
-func newEngine(workers int, progress io.Writer) *engine {
+func newEngine(workers int, progress io.Writer, st *store.Store) *engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -102,7 +112,65 @@ func newEngine(workers int, progress io.Writer) *engine {
 		workers:  workers,
 		sem:      make(chan struct{}, workers),
 		progress: progress,
+		store:    st,
 		runs:     map[RunKey]*runEntry{},
+	}
+}
+
+// storeEligible reports whether the request may be answered from — and
+// written to — the persistent store. Audited runs are excluded: loading a
+// result would skip the invariant sweeps that are the whole point of the
+// run (their keys differ from unaudited ones anyway, so they could never
+// alias a plain entry).
+func (e *engine) storeEligible(req RunRequest) bool {
+	return e.store != nil && !req.Audit.Enabled()
+}
+
+// tryStoreLoad attempts to answer the request from the persistent store,
+// filling ent and completing it on success. Corrupt entries are counted,
+// logged to the progress writer and treated exactly like misses.
+func (e *engine) tryStoreLoad(ent *runEntry, req RunRequest, key RunKey) bool {
+	start := time.Now()
+	body, err := e.store.Load(key.String())
+	if err != nil {
+		if store.IsCorrupt(err) && e.progress != nil {
+			fmt.Fprintf(e.progress, "[store] %v; re-simulating %s/%v\n", err, req.WL.Name, req.Scheme)
+		}
+		return false
+	}
+	se, derr := decodeStoreEntry(body, req)
+	if derr != nil {
+		// The container verified but the content didn't: count it with the
+		// corrupt entries so the report shows one number for "entries that
+		// could not be trusted".
+		e.store.NoteContentCorrupt()
+		if e.progress != nil {
+			fmt.Fprintf(e.progress, "[store] corrupt entry %s (%v); re-simulating %s/%v\n",
+				key.Short(), derr, req.WL.Name, req.Scheme)
+		}
+		return false
+	}
+	wall := time.Since(start)
+	ent.res = se.Result
+	ent.telem = se.Telemetry
+	ent.stats.StoreHit = true
+	ent.stats.WallMS = float64(wall) / float64(time.Millisecond)
+	ent.stats.SimPS = int64(ent.res.ExecTime)
+	ent.stats.Instructions = ent.res.Instructions
+	close(ent.done)
+	e.noteDone(ent, wall)
+	return true
+}
+
+// storeSave persists a freshly simulated run; failures are counted on the
+// store handle and reported once per sweep, never failing the run itself.
+func (e *engine) storeSave(ent *runEntry, key RunKey) {
+	body, err := encodeStoreEntry(ent.res, ent.telem)
+	if err == nil {
+		err = e.store.Save(key.String(), body)
+	}
+	if err != nil && e.progress != nil {
+		fmt.Fprintf(e.progress, "[store] save %s failed: %v\n", key.Short(), err)
 	}
 }
 
@@ -131,6 +199,13 @@ func (e *engine) get(req RunRequest) (Result, error) {
 	e.scheduled++
 	e.mu.Unlock()
 
+	// Persistent-store fall-through: a memo miss may still be a disk hit —
+	// a prior process already simulated this exact recipe. Only a store
+	// miss (or an entry that fails verification) pays for a simulation.
+	if e.storeEligible(req) && e.tryStoreLoad(ent, req, key) {
+		return ent.res, nil
+	}
+
 	e.sem <- struct{}{}
 	start := time.Now()
 	ent.res, ent.telem, ent.report, ent.err = RunOneOpts(
@@ -140,6 +215,9 @@ func (e *engine) get(req RunRequest) (Result, error) {
 		// An invariant violation fails the run exactly like a build error
 		// would: every requester of this key sees it.
 		ent.err = ent.report.Err()
+	}
+	if ent.err == nil && e.storeEligible(req) {
+		e.storeSave(ent, key)
 	}
 	wall := time.Since(start)
 	<-e.sem
@@ -243,7 +321,13 @@ type Runner struct{ eng *engine }
 // (≤ 0 means GOMAXPROCS); progress, when non-nil, receives one line per
 // completed run.
 func NewRunner(workers int, progress io.Writer) *Runner {
-	return &Runner{eng: newEngine(workers, progress)}
+	return &Runner{eng: newEngine(workers, progress, nil)}
+}
+
+// NewRunnerOpts builds a runner from the full option set, including the
+// persistent result store (Options.Store) the plain constructor omits.
+func NewRunnerOpts(o Options) *Runner {
+	return &Runner{eng: newEngine(o.Workers, o.Progress, o.Store)}
 }
 
 // Get returns the request's memoized Result, executing the simulation on
@@ -265,6 +349,40 @@ func (r *Runner) Report(req RunRequest) audit.Report {
 
 // RunStats returns the per-run observability records of every completed run.
 func (r *Runner) RunStats() []RunStats { return r.eng.statsSnapshot() }
+
+// Telemetry returns the collected (or store-loaded) telemetry of a
+// completed run, nil if the key was never requested or telemetry was off.
+func (r *Runner) Telemetry(req RunRequest) *telemetry.Output {
+	r.eng.mu.Lock()
+	ent, ok := r.eng.runs[req.Key()]
+	r.eng.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	<-ent.done
+	return ent.telem
+}
+
+// StoreStats reports the persistent store's traffic for this engine's
+// lifetime; ok is false when no store is attached.
+func (r *Runner) StoreStats() (StoreStats, bool) { return r.eng.storeStatsSnapshot() }
+
+// storeStatsSnapshot adapts the store handle's counters into the report
+// schema.
+func (e *engine) storeStatsSnapshot() (StoreStats, bool) {
+	if e.store == nil {
+		return StoreStats{}, false
+	}
+	st := e.store.Stats()
+	return StoreStats{
+		Dir:        e.store.Dir(),
+		Hits:       st.Hits,
+		Misses:     st.Misses,
+		Corrupt:    st.Corrupt,
+		Saves:      st.Saves,
+		SaveErrors: st.SaveErrors,
+	}, true
+}
 
 // RunTelemetry pairs one completed run's identity with its collected
 // telemetry output.

@@ -28,7 +28,7 @@ type Suite struct {
 
 // NewSuite builds a suite.
 func NewSuite(opt Options) *Suite {
-	return &Suite{opt: opt, eng: newEngine(opt.Workers, opt.Progress)}
+	return &Suite{opt: opt, eng: newEngine(opt.Workers, opt.Progress, opt.Store)}
 }
 
 // Options returns the suite's options.
@@ -38,6 +38,10 @@ func (s *Suite) Options() Options { return s.opt }
 // far — wall clock, simulated time, instruction throughput and memo hits —
 // sorted by (workload, scheme, key).
 func (s *Suite) RunStats() []RunStats { return s.eng.statsSnapshot() }
+
+// StoreStats reports the persistent result store's traffic for this suite;
+// ok is false when Options.Store was nil.
+func (s *Suite) StoreStats() (StoreStats, bool) { return s.eng.storeStatsSnapshot() }
 
 // Telemetry returns the collected telemetry of every completed run, sorted
 // by (workload, scheme, key). Empty unless Options.Telemetry was enabled.

@@ -71,6 +71,26 @@ func keyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, see
 	return key
 }
 
+// canonNaNBits is the single quiet-NaN pattern every NaN encoding hashes
+// as.
+const canonNaNBits = 0x7ff8000000000000
+
+// canonFloatBits maps semantically equal float encodings to one bit
+// pattern: -0.0 hashes as +0.0 (they compare equal and no simulation can
+// tell them apart) and every NaN payload collapses to canonNaNBits. Hashing
+// raw Float64bits split the key space on these encodings — harmless while
+// the memo died with the process, but a cache-splitter (and a
+// golden-fixture landmine) once keys persist in the result store.
+func canonFloatBits(f float64) uint64 {
+	switch {
+	case f == 0: // true for both +0.0 and -0.0
+		return 0
+	case f != f: // true for every NaN payload
+		return canonNaNBits
+	}
+	return math.Float64bits(f)
+}
+
 // canonEncoder writes a canonical, self-delimiting byte stream into a hash.
 // Every value is prefixed with its label so that field reordering or renaming
 // also changes the key.
@@ -108,7 +128,7 @@ func (e canonEncoder) value(label string, v reflect.Value) {
 	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
 		e.int64(label, int64(v.Uint()))
 	case reflect.Float32, reflect.Float64:
-		e.int64(label, int64(math.Float64bits(v.Float())))
+		e.int64(label, int64(canonFloatBits(v.Float())))
 	case reflect.Bool:
 		b := int64(0)
 		if v.Bool() {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -66,6 +67,59 @@ func TestRunKeySensitiveToEveryComponent(t *testing.T) {
 	rot.RotateEvery = 500
 	if KeyOf(o.Cfg, rot, migration.PIPM, 1000, 1) == base {
 		t.Error("RotateEvery change under the same workload name did not change the key")
+	}
+}
+
+// TestRunKeyFloatCanonicalization: float encodings no simulation can
+// distinguish must hash identically, or the persistent store splits its key
+// space (−0.0 configs would never hit entries saved under +0.0), while
+// genuinely different values must still produce different keys.
+func TestRunKeyFloatCanonicalization(t *testing.T) {
+	o := QuickOptions()
+	wl := o.Workloads[0]
+
+	negZero := math.Copysign(0, -1)
+	posWL, negWL := wl, wl
+	posWL.OwnFrac = 0
+	negWL.OwnFrac = negZero
+	if KeyOf(o.Cfg, posWL, migration.PIPM, 1000, 1) != KeyOf(o.Cfg, negWL, migration.PIPM, 1000, 1) {
+		t.Error("-0.0 and 0.0 produced different run keys")
+	}
+
+	// Every NaN payload is one key. Build a second NaN bit pattern
+	// explicitly: quiet NaN with a different payload.
+	nan1, nan2 := math.NaN(), math.Float64frombits(0x7ff8000000000042)
+	if !math.IsNaN(nan2) {
+		t.Fatal("test bug: 0x7ff8000000000042 is not a NaN")
+	}
+	nanWL1, nanWL2 := wl, wl
+	nanWL1.OwnFrac = nan1
+	nanWL2.OwnFrac = nan2
+	if KeyOf(o.Cfg, nanWL1, migration.PIPM, 1000, 1) != KeyOf(o.Cfg, nanWL2, migration.PIPM, 1000, 1) {
+		t.Error("two NaN payloads produced different run keys")
+	}
+
+	// Sanity: canonicalization must not merge distinct values.
+	if KeyOf(o.Cfg, posWL, migration.PIPM, 1000, 1) == KeyOf(o.Cfg, nanWL1, migration.PIPM, 1000, 1) {
+		t.Error("0.0 and NaN collapsed to one key")
+	}
+	small := wl
+	small.OwnFrac = 1e-300
+	if KeyOf(o.Cfg, posWL, migration.PIPM, 1000, 1) == KeyOf(o.Cfg, small, migration.PIPM, 1000, 1) {
+		t.Error("0.0 and 1e-300 collapsed to one key")
+	}
+
+	// The bit-level helper, exhaustively over the interesting encodings.
+	if canonFloatBits(0) != 0 || canonFloatBits(negZero) != 0 {
+		t.Error("canonFloatBits does not collapse zeros")
+	}
+	if canonFloatBits(nan1) != canonNaNBits || canonFloatBits(nan2) != canonNaNBits {
+		t.Error("canonFloatBits does not collapse NaNs")
+	}
+	for _, f := range []float64{1.0, -1.0, 0.08, 5e9, math.Inf(1), math.Inf(-1), math.MaxFloat64} {
+		if canonFloatBits(f) != math.Float64bits(f) {
+			t.Errorf("canonFloatBits perturbed ordinary value %g", f)
+		}
 	}
 }
 

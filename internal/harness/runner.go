@@ -20,6 +20,7 @@ import (
 	"pipm/internal/migration"
 	"pipm/internal/sim"
 	"pipm/internal/stats"
+	"pipm/internal/store"
 	"pipm/internal/telemetry"
 	"pipm/internal/workload"
 )
@@ -60,6 +61,13 @@ type Options struct {
 	// are bit-identical either way, but the engine configuration under test
 	// stays part of the run identity.
 	Intra machine.IntraOptions
+
+	// Store, when non-nil, is the persistent result store layered under the
+	// engine's in-memory memo (DESIGN.md §14): a memo miss consults the
+	// store before simulating, and completed simulations are written back so
+	// a later process can skip them. Audited runs bypass the store — the
+	// auditor's sweeps must actually execute.
+	Store *store.Store
 }
 
 // DefaultOptions returns the scaled-down sweep configuration: Table 2

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pipm/internal/telemetry"
+)
+
+// storeEntry is the content layer of one persisted run (DESIGN.md §14.2):
+// the Result, its golden digest (the same sha256 DigestResult computes for
+// the golden-sweep guard), and — for telemetry-enabled keys — the collected
+// telemetry output. The container layer (header, body checksum, atomic
+// rename, sharding) lives in internal/store; this codec owns what the body
+// means and whether it can be trusted as *this* run.
+type storeEntry struct {
+	Result Result `json:"result"`
+	// Digest is DigestResult(Result), recomputed and compared on every
+	// load. The container checksum proves the bytes survived the disk; the
+	// digest proves the decoded Result survived the codec — a JSON
+	// round-trip that perturbed one float would slip past the checksum but
+	// not past this.
+	Digest    string            `json:"digest"`
+	Telemetry *telemetry.Output `json:"telemetry,omitempty"`
+}
+
+// encodeStoreEntry serialises one completed run for the store.
+func encodeStoreEntry(res Result, telem *telemetry.Output) ([]byte, error) {
+	return json.Marshal(storeEntry{Result: res, Digest: DigestResult(res), Telemetry: telem})
+}
+
+// decodeStoreEntry deserialises and verifies a store body against the
+// request it is about to answer. Any failure means the entry cannot be
+// trusted for this run: the caller counts it corrupt and re-simulates.
+func decodeStoreEntry(body []byte, req RunRequest) (storeEntry, error) {
+	var se storeEntry
+	if err := json.Unmarshal(body, &se); err != nil {
+		return storeEntry{}, fmt.Errorf("undecodable entry body: %w", err)
+	}
+	if got := DigestResult(se.Result); got != se.Digest {
+		return storeEntry{}, fmt.Errorf("result digest %.12s… != recorded %.12s…", got, se.Digest)
+	}
+	if se.Result.Workload != req.WL.Name || se.Result.Scheme != req.Scheme {
+		return storeEntry{}, fmt.Errorf("entry is %s/%v, request is %s/%v",
+			se.Result.Workload, se.Result.Scheme, req.WL.Name, req.Scheme)
+	}
+	if req.Telemetry.Enabled() && se.Telemetry == nil {
+		return storeEntry{}, fmt.Errorf("telemetry-enabled key has no telemetry payload")
+	}
+	return se, nil
+}
+
+// DecodeStoredResult decodes and digest-verifies a persisted entry body
+// without a request context — the cmd/storecheck path. It returns the
+// Result and whether telemetry was attached.
+func DecodeStoredResult(body []byte) (Result, bool, error) {
+	var se storeEntry
+	if err := json.Unmarshal(body, &se); err != nil {
+		return Result{}, false, fmt.Errorf("undecodable entry body: %w", err)
+	}
+	if got := DigestResult(se.Result); got != se.Digest {
+		return Result{}, false, fmt.Errorf("result digest %.12s… != recorded %.12s…", got, se.Digest)
+	}
+	return se.Result, se.Telemetry != nil, nil
+}
+
+// StoreStats is the engine-facing snapshot of result-store traffic for one
+// sweep, embedded in the -json bench report's `store` block. Hits are runs
+// answered from disk without simulating; Misses and Corrupt both forced a
+// simulation (Corrupt additionally means an on-disk entry failed
+// verification and was replaced).
+type StoreStats struct {
+	Dir        string `json:"dir"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Corrupt    uint64 `json:"corrupt"`
+	Saves      uint64 `json:"saves"`
+	SaveErrors uint64 `json:"save_errors,omitempty"`
+}

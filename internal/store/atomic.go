@@ -1,0 +1,81 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// writeFileAtomic stages the write in a temp file next to path, fsyncs it,
+// and renames it into place, so path only ever holds a complete document. A
+// crash mid-write leaves the old file (or nothing) plus a stale `.tmp-*`
+// the store's GC sweeps later.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// WriteFileAtomic atomically replaces path with data (temp file in the
+// destination directory + rename). This is the pattern every durable export
+// in the repo uses — a crash mid-write must never leave a truncated,
+// unparseable artefact behind (DESIGN.md §14.3).
+func WriteFileAtomic(path string, data []byte) error {
+	return writeFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// WriteToAtomic streams write into a temp file and atomically renames it to
+// path — WriteFileAtomic for exports too large to buffer.
+func WriteToAtomic(path string, write func(io.Writer) error) error {
+	return writeFileAtomic(path, write)
+}
+
+// ProbeFile verifies up front that path can be created: its parent
+// directory exists and is writable, and path itself is not a directory.
+// CLIs call this on every output flag before the first simulation, so a
+// doomed multi-minute sweep fails in milliseconds instead of at write time.
+func ProbeFile(path string) error {
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		return fmt.Errorf("output path %s is a directory", path)
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("output path %s is not writable: %w", path, err)
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return nil
+}

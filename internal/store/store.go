@@ -1,0 +1,353 @@
+// Package store is the disk-backed, content-addressed result store: a
+// directory of immutable entries keyed by canonical run key (the sha256 the
+// harness computes over the full run recipe, see internal/harness/runkey.go).
+// The harness's in-memory singleflight memo falls through to a Store before
+// simulating, so a sweep re-run in a fresh process — the CI job, the next
+// `-exp all`, a re-anchored parameter study — pays only for keys it has
+// never seen (DESIGN.md §14).
+//
+// Durability rules, in order of importance:
+//
+//   - Writes are atomic: an entry is staged in a temp file in its final
+//     shard directory, fsynced, then renamed into place. A reader never
+//     observes a half-written entry, and concurrent writers of the same key
+//     (two processes simulating the same run) both rename complete files —
+//     last one wins, and both are byte-identical anyway because runs are
+//     deterministic.
+//   - Entries are self-describing: a one-line `pipm-store/v1` header carries
+//     the schema version, the run key and a sha256 checksum + length of the
+//     body that follows.
+//   - Loads verify before trusting: a missing header, foreign key, short
+//     body or checksum mismatch makes the entry a *miss* (counted as
+//     corrupt), never a wrong answer — the caller re-simulates and the next
+//     Save atomically replaces the bad file.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pipm/internal/telemetry"
+)
+
+// Schema is the entry header magic. Bump it only with a migration story:
+// loads reject any other value as corrupt, so old entries become misses.
+const Schema = "pipm-store/v1"
+
+// ErrMiss reports a key with no stored entry. It is the ordinary cold-cache
+// outcome, distinct from corruption.
+var ErrMiss = errors.New("store: entry not found")
+
+// CorruptError reports an entry that exists on disk but failed
+// verification. Callers must treat it exactly like a miss — re-simulate and
+// re-save — never as data.
+type CorruptError struct {
+	Key    string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("store: corrupt entry %.12s…: %s", e.Key, e.Reason)
+}
+
+// IsCorrupt reports whether err marks a failed entry verification.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// Stats is a snapshot of one Store handle's counters. Hits/Misses/Corrupt
+// count Load outcomes; Saves/SaveErrors count Save outcomes. The counters
+// are per-process observability (they feed the -json bench report's `store`
+// block), not persisted state.
+type Stats struct {
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Corrupt    uint64 `json:"corrupt"`
+	Saves      uint64 `json:"saves"`
+	SaveErrors uint64 `json:"save_errors,omitempty"`
+}
+
+// Store is one handle onto a store directory. Handles are safe for
+// concurrent use by multiple goroutines, and distinct processes may share
+// one directory: every mutation is a whole-file atomic rename.
+type Store struct {
+	root string
+
+	hits, misses, corrupt, saves, saveErrs atomic.Uint64
+}
+
+// Open prepares dir as a result store, creating it if needed, and probes it
+// for writability so an unusable -store path fails before any simulation
+// runs.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	f, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("store: directory %s is not writable: %w", dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return &Store{root: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.root }
+
+// Stats returns a snapshot of the handle's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:       s.hits.Load(),
+		Misses:     s.misses.Load(),
+		Corrupt:    s.corrupt.Load(),
+		Saves:      s.saves.Load(),
+		SaveErrors: s.saveErrs.Load(),
+	}
+}
+
+// NoteContentCorrupt reclassifies the handle's most recent hit as corrupt:
+// the container (header + checksum) verified but the caller's content layer
+// — digest or shape checks it owns — did not. One number then covers every
+// entry that could not be trusted.
+func (s *Store) NoteContentCorrupt() {
+	s.hits.Add(^uint64(0))
+	s.corrupt.Add(1)
+}
+
+// RegisterGauges exposes the handle's counters as telemetry gauges, read at
+// snapshot time, for embedders that sample a process-level registry. The
+// per-run registries the machine owns never include these: store traffic is
+// host-process state, and folding it into run telemetry would break the
+// byte-identical-exports guarantee.
+func (s *Store) RegisterGauges(r *telemetry.Registry) {
+	r.GaugeFunc("store.hits", func() float64 { return float64(s.hits.Load()) })
+	r.GaugeFunc("store.misses", func() float64 { return float64(s.misses.Load()) })
+	r.GaugeFunc("store.corrupt", func() float64 { return float64(s.corrupt.Load()) })
+	r.GaugeFunc("store.saves", func() float64 { return float64(s.saves.Load()) })
+}
+
+// keyLen is hex-encoded sha256.
+const keyLen = 2 * sha256.Size
+
+// validKey reports whether key is 64 lowercase-hex characters.
+func validKey(key string) bool {
+	if len(key) != keyLen {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Path returns the entry file for key: a 2-level hex-sharded layout
+// (`<root>/ab/cd/<key>`) that keeps directory fanout bounded at scale.
+func (s *Store) Path(key string) string {
+	return filepath.Join(s.root, key[:2], key[2:4], key)
+}
+
+// Load returns the verified body of the entry for key. A missing entry
+// returns ErrMiss; an existing but unverifiable one returns a *CorruptError.
+// Either way the caller's move is the same: treat it as a miss.
+func (s *Store) Load(key string) ([]byte, error) {
+	if !validKey(key) {
+		return nil, fmt.Errorf("store: invalid key %q", key)
+	}
+	data, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		s.misses.Add(1)
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrMiss
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	body, cerr := verifyEntry(key, data)
+	if cerr != nil {
+		s.corrupt.Add(1)
+		return nil, cerr
+	}
+	s.hits.Add(1)
+	return body, nil
+}
+
+// Save atomically writes body as the entry for key, replacing any previous
+// entry.
+func (s *Store) Save(key string, body []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	err := s.save(key, body)
+	if err != nil {
+		s.saveErrs.Add(1)
+		return err
+	}
+	s.saves.Add(1)
+	return nil
+}
+
+func (s *Store) save(key string, body []byte) error {
+	path := s.Path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	sum := sha256.Sum256(body)
+	header := fmt.Sprintf("%s %s %s %d\n", Schema, key, hex.EncodeToString(sum[:]), len(body))
+	return writeFileAtomic(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, header); err != nil {
+			return err
+		}
+		_, err := w.Write(body)
+		return err
+	})
+}
+
+// verifyEntry checks the header against the body and the expected key,
+// returning the body or the precise reason the entry cannot be trusted.
+func verifyEntry(key string, data []byte) ([]byte, error) {
+	corrupt := func(reason string) ([]byte, error) {
+		return nil, &CorruptError{Key: key, Reason: reason}
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return corrupt("no header line")
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 4 {
+		return corrupt("malformed header")
+	}
+	if fields[0] != Schema {
+		return corrupt(fmt.Sprintf("schema %q, want %q", fields[0], Schema))
+	}
+	if fields[1] != key {
+		return corrupt(fmt.Sprintf("entry is keyed %.12s…", fields[1]))
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return corrupt("malformed body length")
+	}
+	body := data[nl+1:]
+	if len(body) != n {
+		return corrupt(fmt.Sprintf("body is %d bytes, header says %d (truncated?)", len(body), n))
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != fields[2] {
+		return corrupt("body checksum mismatch")
+	}
+	return body, nil
+}
+
+// EntryInfo describes one stored entry for listings and GC decisions.
+type EntryInfo struct {
+	Key     string
+	Size    int64
+	ModTime time.Time
+}
+
+// Entries walks the store and returns every entry, sorted by key. Files that
+// are not shaped like entries (temp files, strays) are skipped.
+func (s *Store) Entries() ([]EntryInfo, error) {
+	var out []EntryInfo
+	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if !validKey(name) || s.Path(name) != path {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		out = append(out, EntryInfo{Key: name, Size: info.Size(), ModTime: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Keys returns every stored key, sorted.
+func (s *Store) Keys() ([]string, error) {
+	entries, err := s.Entries()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+	}
+	return keys, nil
+}
+
+// Remove deletes the entry for key; removing an absent entry is not an
+// error.
+func (s *Store) Remove(key string) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	if err := os.Remove(s.Path(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// GC removes entries last written before now-maxAge, plus any staged temp
+// files older than one hour (crashed writers leave those behind; live ones
+// rename within milliseconds). It returns how many entries were collected.
+func (s *Store) GC(maxAge time.Duration, now time.Time) (int, error) {
+	cutoff := now.Add(-maxAge)
+	tmpCutoff := now.Add(-time.Hour)
+	removed := 0
+	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		switch {
+		case validKey(name) && s.Path(name) == path:
+			if info.ModTime().Before(cutoff) {
+				if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+					return err
+				}
+				removed++
+			}
+		case strings.HasPrefix(name, ".tmp-") && info.ModTime().Before(tmpCutoff):
+			if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return removed, fmt.Errorf("store: %w", err)
+	}
+	return removed, nil
+}

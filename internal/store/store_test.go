@@ -1,0 +1,435 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pipm/internal/telemetry"
+)
+
+// testKey derives a deterministic valid key from a label.
+func testKey(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("round-trip")
+	body := []byte(`{"result": 42}`)
+	if err := s.Save(key, body); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(body) {
+		t.Fatalf("loaded %q, want %q", got, body)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Corrupt != 0 || st.Saves != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 save", st)
+	}
+}
+
+func TestMissIsErrMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(testKey("never-saved")); !errors.Is(err, ErrMiss) {
+		t.Fatalf("Load of absent key = %v, want ErrMiss", err)
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 miss", st)
+	}
+}
+
+// TestCorruptEntries walks every way an on-disk entry can go bad and
+// requires each to surface as a CorruptError — never as data, never as a
+// plain miss (the counter distinguishes them).
+func TestCorruptEntries(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func(path string, data []byte) []byte
+	}{
+		{"truncated body", func(_ string, data []byte) []byte { return data[:len(data)-3] }},
+		{"flipped body byte", func(_ string, data []byte) []byte {
+			out := append([]byte(nil), data...)
+			out[len(out)-1] ^= 0xff
+			return out
+		}},
+		{"no header", func(_ string, _ []byte) []byte { return []byte("not an entry") }},
+		{"wrong schema", func(_ string, data []byte) []byte {
+			return append([]byte("pipm-store/v999"), data[len(Schema):]...)
+		}},
+		{"empty file", func(_ string, _ []byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := testKey("corrupt/" + tc.name)
+			if err := s.Save(key, []byte("payload payload payload")); err != nil {
+				t.Fatal(err)
+			}
+			path := s.Path(key)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mangle(path, data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err = s.Load(key)
+			if !IsCorrupt(err) {
+				t.Fatalf("Load of mangled entry = %v, want CorruptError", err)
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Fatalf("stats = %+v, want 1 corrupt", st)
+			}
+			// Re-saving must atomically repair the entry in place.
+			if err := s.Save(key, []byte("fresh")); err != nil {
+				t.Fatal(err)
+			}
+			if got, err := s.Load(key); err != nil || string(got) != "fresh" {
+				t.Fatalf("Load after repair = %q, %v", got, err)
+			}
+		})
+	}
+}
+
+// TestKeyMismatchIsCorrupt: an entry renamed onto the wrong key (operator
+// error, disk mixup) must not be served for that key.
+func TestKeyMismatchIsCorrupt(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := testKey("a"), testKey("b")
+	if err := s.Save(k1, []byte("body-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.Path(k2)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.Path(k1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.Path(k2), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(k2); !IsCorrupt(err) {
+		t.Fatalf("Load of foreign-keyed entry = %v, want CorruptError", err)
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", strings.Repeat("Z", 64), strings.Repeat("a", 63), "../" + strings.Repeat("a", 61)} {
+		if err := s.Save(key, []byte("x")); err == nil {
+			t.Errorf("Save(%q) accepted an invalid key", key)
+		}
+		if _, err := s.Load(key); err == nil || errors.Is(err, ErrMiss) {
+			t.Errorf("Load(%q) = %v, want invalid-key error", key, err)
+		}
+	}
+}
+
+func TestEntriesKeysAndRemove(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 8; i++ {
+		key := testKey(fmt.Sprintf("entry-%d", i))
+		if err := s.Save(key, []byte(fmt.Sprintf("body-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, key)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys() returned %d keys, want %d", len(keys), len(want))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("Keys() not sorted: %s before %s", keys[i-1][:8], keys[i][:8])
+		}
+	}
+	if err := s.Remove(keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(keys[0]); err != nil {
+		t.Fatalf("double Remove errored: %v", err)
+	}
+	keys, err = s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(want)-1 {
+		t.Fatalf("after Remove, %d keys remain, want %d", len(keys), len(want)-1)
+	}
+}
+
+func TestGC(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldKey, newKey := testKey("old"), testKey("new")
+	if err := s.Save(oldKey, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(newKey, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	past := time.Now().Add(-48 * time.Hour)
+	if err := os.Chtimes(s.Path(oldKey), past, past); err != nil {
+		t.Fatal(err)
+	}
+	// A stale temp file from a crashed writer.
+	stale := filepath.Join(filepath.Dir(s.Path(oldKey)), ".tmp-crashed")
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(stale, past, past); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := s.GC(24*time.Hour, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("GC removed %d entries, want 1", removed)
+	}
+	if _, err := s.Load(oldKey); !errors.Is(err, ErrMiss) {
+		t.Fatalf("old entry survived GC: %v", err)
+	}
+	if _, err := s.Load(newKey); err != nil {
+		t.Fatalf("new entry did not survive GC: %v", err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale temp file survived GC")
+	}
+}
+
+func TestWriteFileAtomicAndProbe(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	if err := ProbeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteToAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "v2")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "v2" {
+		t.Fatalf("read %q, %v; want v2", data, err)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d files after atomic writes, want 1", len(entries))
+	}
+	if err := ProbeFile(filepath.Join(dir, "missing-parent", "x.json")); err == nil {
+		t.Fatal("ProbeFile accepted a path with a missing parent")
+	}
+	if err := ProbeFile(dir); err == nil {
+		t.Fatal("ProbeFile accepted a directory")
+	}
+}
+
+func TestRegisterGauges(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	s.RegisterGauges(reg)
+	key := testKey("gauged")
+	if err := s.Save(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(key); err != nil {
+		t.Fatal(err)
+	}
+	reg.Snapshot(0)
+	series := reg.Series()
+	got := map[string]float64{}
+	for i, name := range series.Names {
+		got[name] = series.Samples[0].Values[i]
+	}
+	if got["store.hits"] != 1 || got["store.saves"] != 1 {
+		t.Fatalf("gauges = %v, want store.hits=1 store.saves=1", got)
+	}
+}
+
+// TestConcurrentSharedDir hammers one directory from many goroutines over
+// two independent handles — the in-process stand-in for two engines racing
+// on one store. Every load must return either ErrMiss or the exact body;
+// corruption is never acceptable.
+func TestConcurrentSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 16
+	body := func(i int) []byte { return []byte(strings.Repeat(fmt.Sprintf("body-%d ", i), 100)) }
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*keys*4)
+	for _, s := range []*Store{s1, s2} {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(s *Store) {
+				defer wg.Done()
+				for round := 0; round < 4; round++ {
+					for i := 0; i < keys; i++ {
+						key := testKey(fmt.Sprintf("conc-%d", i))
+						if err := s.Save(key, body(i)); err != nil {
+							errs <- err
+						}
+						got, err := s.Load(key)
+						if err != nil && !errors.Is(err, ErrMiss) {
+							errs <- fmt.Errorf("load %d: %w", i, err)
+						}
+						if err == nil && string(got) != string(body(i)) {
+							errs <- fmt.Errorf("load %d returned wrong body", i)
+						}
+					}
+				}
+			}(s)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestTwoProcessStore re-runs the test binary twice concurrently as real
+// child processes (the classic helper-process pattern), both writing an
+// overlapping key range into one store directory. Afterwards every entry
+// must verify — atomic rename means last-writer-wins with no torn state.
+func TestTwoProcessStore(t *testing.T) {
+	if os.Getenv("PIPM_STORE_TEST_DIR") != "" {
+		t.Fatal("helper env leaked into the parent test")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skipf("cannot locate test binary: %v", err)
+	}
+	dir := t.TempDir()
+	run := func(salt string) *exec.Cmd {
+		cmd := exec.Command(exe, "-test.run", "TestHelperProcessWriter$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			"PIPM_STORE_TEST_DIR="+dir,
+			"PIPM_STORE_TEST_SALT="+salt)
+		return cmd
+	}
+	c1, c2 := run("alpha"), run("beta")
+	if err := c1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Wait(); err != nil {
+		t.Fatalf("child 1 failed: %v", err)
+	}
+	if err := c2.Wait(); err != nil {
+		t.Fatalf("child 2 failed: %v", err)
+	}
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != helperKeys {
+		t.Fatalf("store holds %d keys after two writers, want %d", len(keys), helperKeys)
+	}
+	for _, key := range keys {
+		if _, err := s.Load(key); err != nil {
+			t.Errorf("entry %.12s… does not verify after concurrent writers: %v", key, err)
+		}
+	}
+}
+
+const helperKeys = 24
+
+// TestHelperProcessWriter is the child body of TestTwoProcessStore: it only
+// does work when launched with the helper environment set.
+func TestHelperProcessWriter(t *testing.T) {
+	dir := os.Getenv("PIPM_STORE_TEST_DIR")
+	if dir == "" {
+		t.Skip("helper process body; driven by TestTwoProcessStore")
+	}
+	salt := os.Getenv("PIPM_STORE_TEST_SALT")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 8; round++ {
+		for i := 0; i < helperKeys; i++ {
+			key := testKey(fmt.Sprintf("two-proc-%d", i))
+			// Both processes write the same body per key — deterministic
+			// simulations do too — but interleave with loads to race
+			// renames against reads.
+			body := []byte(strings.Repeat(fmt.Sprintf("proc body %d ", i), 50))
+			if err := s.Save(key, body); err != nil {
+				t.Fatalf("%s: save %d: %v", salt, i, err)
+			}
+			got, err := s.Load(key)
+			if err != nil {
+				t.Fatalf("%s: load %d: %v", salt, i, err)
+			}
+			if string(got) != string(body) {
+				t.Fatalf("%s: load %d returned a different body", salt, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package telemetry
+
+import "encoding/json"
+
+// traceJSON is the persisted form of a Trace ring: capacity, drop count and
+// the buffered events oldest-first. The harness's result store serialises
+// whole Outputs (DESIGN.md §14), and a Trace reloaded from JSON must
+// re-export byte-identically — same Events() order, same Dropped() — so the
+// ring's internal start/full bookkeeping is normalised away here rather
+// than written out.
+type traceJSON struct {
+	Capacity int     `json:"capacity"`
+	Dropped  uint64  `json:"dropped,omitempty"`
+	Events   []Event `json:"events"`
+}
+
+// MarshalJSON encodes the ring as its oldest-first event sequence.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	if t == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(traceJSON{Capacity: cap(t.events), Dropped: t.dropped, Events: t.Events()})
+}
+
+// UnmarshalJSON rebuilds the ring in its normalised form: events contiguous
+// from index 0, ready for further Emits up to the original capacity.
+func (t *Trace) UnmarshalJSON(data []byte) error {
+	var d traceJSON
+	if err := json.Unmarshal(data, &d); err != nil {
+		return err
+	}
+	if d.Capacity < len(d.Events) {
+		d.Capacity = len(d.Events)
+	}
+	nt := NewTrace(d.Capacity)
+	nt.events = append(nt.events, d.Events...)
+	nt.dropped = d.Dropped
+	*t = *nt
+	return nil
+}

@@ -192,7 +192,7 @@ func Run(o Options) (*Report, error) {
 	if o.Seeds < 1 {
 		o.Seeds = 1
 	}
-	ctx := &Ctx{Opt: o, runner: harness.NewRunner(o.Harness.Workers, o.Harness.Progress)}
+	ctx := &Ctx{Opt: o, runner: harness.NewRunnerOpts(o.Harness)}
 	rep := &Report{Schema: Schema}
 
 	if o.Audit.Enabled() {

@@ -1,6 +1,8 @@
 package pipm
 
 import (
+	"io"
+
 	"pipm/internal/check"
 	"pipm/internal/config"
 	"pipm/internal/core"
@@ -10,6 +12,7 @@ import (
 	"pipm/internal/migration"
 	"pipm/internal/silo"
 	"pipm/internal/sim"
+	"pipm/internal/store"
 	"pipm/internal/telemetry"
 	"pipm/internal/trace"
 	"pipm/internal/workload"
@@ -184,6 +187,71 @@ type RunStats = harness.RunStats
 func RunKeyOf(cfg Config, wl Workload, s Scheme, records, seed int64) string {
 	return harness.KeyOf(cfg, wl, s, records, seed).String()
 }
+
+// ResultStore is the disk-backed, content-addressed result store
+// (DESIGN.md §14): a directory of verified, atomically-written entries keyed
+// by canonical run key. Attach one via SuiteOptions.Store and the engine's
+// in-memory memo falls through to disk before simulating, so a repeated
+// sweep in a fresh process re-simulates nothing.
+type ResultStore = store.Store
+
+// StoreEntryInfo describes one stored entry (key, size, mtime) for listings
+// and GC decisions.
+type StoreEntryInfo = store.EntryInfo
+
+// OpenStore opens dir as a result store, creating it if needed, and probes
+// it for writability so an unusable store path fails before any simulation.
+func OpenStore(dir string) (*ResultStore, error) { return store.Open(dir) }
+
+// StoreStats is one engine's result-store traffic: runs answered from disk
+// (hits), runs that had to simulate (misses), entries that failed
+// verification and were re-simulated (corrupt), and write-backs (saves).
+type StoreStats = harness.StoreStats
+
+// ErrStoreMiss reports a key with no stored entry — the ordinary cold-cache
+// outcome of ResultStore.Load.
+var ErrStoreMiss = store.ErrMiss
+
+// IsStoreCorrupt reports whether err marks a store entry that failed
+// verification (and was therefore treated as a miss).
+func IsStoreCorrupt(err error) bool { return store.IsCorrupt(err) }
+
+// DecodeStoredResult decodes and digest-verifies one store entry body,
+// returning the Result and whether telemetry was attached. cmd/storecheck
+// uses this to deep-verify entries beyond the container checksum.
+func DecodeStoredResult(body []byte) (Result, bool, error) {
+	return harness.DecodeStoredResult(body)
+}
+
+// WriteFileAtomic atomically replaces path with data: the write is staged in
+// a temp file in the destination directory, fsynced, then renamed into
+// place. Every durable artefact the CLIs emit goes through this — a crash
+// mid-write must never leave a truncated document behind.
+func WriteFileAtomic(path string, data []byte) error { return store.WriteFileAtomic(path, data) }
+
+// WriteToAtomic is WriteFileAtomic for streamed exports too large to buffer.
+func WriteToAtomic(path string, write func(io.Writer) error) error {
+	return store.WriteToAtomic(path, write)
+}
+
+// ProbeOutputFile verifies up front that path can be created (parent exists,
+// is writable, path is not a directory), so a doomed sweep fails in
+// milliseconds instead of at export time.
+func ProbeOutputFile(path string) error { return store.ProbeFile(path) }
+
+// Runner is the run-graph engine's direct face for callers that want
+// memoised, store-backed, bounded-parallel execution of individual requests
+// without the Suite's figure builders.
+type Runner = harness.Runner
+
+// RunRequest names one simulation for a Runner: configuration, workload,
+// scheme, budget, seed and the optional subsystems that join the run
+// identity when enabled.
+type RunRequest = harness.RunRequest
+
+// NewRunner builds a Runner from a SuiteOptions (Workers, Progress and Store
+// are honoured; the sweep-shaping fields are ignored).
+func NewRunner(o SuiteOptions) *Runner { return harness.NewRunnerOpts(o) }
 
 // Table is a rendered experiment artefact.
 type Table = harness.Table
