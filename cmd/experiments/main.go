@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -97,9 +98,17 @@ func main() {
 		return
 	}
 
+	// Bind the pprof listener before any sweep starts: a bad -pprof address
+	// must fail immediately, not vanish into a goroutine's log line after
+	// minutes of simulation.
 	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof: %w", err))
+		}
+		fmt.Fprintln(stderr, "experiments: pprof on http://"+ln.Addr().String())
 		go func() {
-			fmt.Fprintln(stderr, "experiments: pprof:", http.ListenAndServe(*pprofAddr, nil))
+			fmt.Fprintln(stderr, "experiments: pprof:", http.Serve(ln, nil))
 		}()
 	}
 

@@ -1,0 +1,113 @@
+// Command pipmd is the experiment service daemon: an HTTP server over one
+// shared harness run engine and (optionally) a persistent result store
+// (DESIGN.md §15).
+//
+//	pipmd -addr localhost:8080 -store /var/lib/pipm/store
+//
+// Clients submit sweep specs with POST /v1/sweeps (or `pipmctl submit`),
+// watch progress over Server-Sent Events, and fetch artefacts straight from
+// the store. Identical concurrent submissions share one execution per run
+// key; anything the store already holds is never simulated again. SIGTERM or
+// SIGINT drains: new sweeps are rejected, live jobs finish (up to -drain,
+// then they are cancelled), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pipm/internal/service"
+	"pipm/internal/store"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "listen address")
+		storeDir = flag.String("store", os.Getenv("PIPM_STORE"), "persistent result store directory (default $PIPM_STORE; empty runs without a store)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations on the shared engine (0 = GOMAXPROCS)")
+		maxJobs  = flag.Int("max-active-jobs", 2, "jobs executing at once; accepted jobs beyond this wait queued")
+		maxRuns  = flag.Int("max-runs", 4096, "reject sweeps expanding past this many runs")
+		reqTO    = flag.Duration("request-timeout", 30*time.Second, "per-request timeout (event streams are exempt)")
+		drainTO  = flag.Duration("drain", 10*time.Minute, "max time to wait for live jobs on shutdown before cancelling them")
+		gcAge    = flag.Duration("gc-age", 0, "collect store entries older than this (0 disables the GC task)")
+		gcEvery  = flag.Duration("gc-interval", time.Hour, "how often the GC task runs (with -gc-age)")
+		verbose  = flag.Bool("verbose", false, "log per-run engine progress")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("pipmd: ")
+	if flag.NArg() > 0 {
+		log.Fatalf("unexpected arguments: %v", flag.Args())
+	}
+
+	cfg := service.Config{
+		Workers:         *parallel,
+		MaxActiveJobs:   *maxJobs,
+		MaxRunsPerSweep: *maxRuns,
+		RequestTimeout:  *reqTO,
+		Logf:            log.Printf,
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("open store: %v", err)
+		}
+		cfg.Store = st
+		log.Printf("result store: %s", st.Dir())
+	} else {
+		log.Printf("no result store (-store / $PIPM_STORE unset); results live only in the memo")
+	}
+
+	svc := service.New(cfg)
+	stopGC := svc.StartGC(*gcEvery, *gcAge)
+	defer stopGC()
+	if *gcAge > 0 && cfg.Store != nil {
+		log.Printf("store GC: every %v, max age %v", *gcEvery, *gcAge)
+	}
+
+	// Bind before announcing, so a bad -addr fails fast with a real error
+	// instead of surfacing as connection refusals on the client side.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("serving on http://%s", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("%s: draining (max %v)", s, *drainTO)
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		log.Printf("drain: %v (live jobs were cancelled)", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		// Lingering event-stream clients keep connections open past the
+		// deadline; close them hard rather than hanging the exit.
+		srv.Close()
+	}
+	fmt.Fprintln(os.Stderr, "pipmd: drained, exiting")
+}

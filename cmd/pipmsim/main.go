@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -59,9 +60,15 @@ func main() {
 		return
 	}
 
+	// Bind the pprof listener before the run starts: a bad -pprof address
+	// must fail immediately, not vanish into a goroutine's log line.
 	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof: %w", err))
+		}
 		go func() {
-			fmt.Fprintln(os.Stderr, "pipmsim: pprof:", http.ListenAndServe(*pprofAddr, nil))
+			fmt.Fprintln(os.Stderr, "pipmsim: pprof:", http.Serve(ln, nil))
 		}()
 	}
 

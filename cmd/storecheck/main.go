@@ -1,18 +1,21 @@
 // Command storecheck inspects a persistent result store (DESIGN.md §14):
 // lists its entries, deep-verifies every one (container header + checksum,
-// then the content layer's Result digest), and garbage-collects old entries
-// and stale temp files.
+// then the content layer's Result digest), garbage-collects old entries and
+// stale temp files, and dumps single verified entries.
 //
 // Usage:
 //
 //	storecheck -store RESULTS            # list entries
 //	storecheck -store RESULTS -verify    # verify every entry; exit 1 on any corrupt
 //	storecheck -store RESULTS -gc 720h   # drop entries older than 30 days
+//	storecheck -store RESULTS -json      # machine-readable report (pipm-storecheck/v1)
+//	storecheck -store RESULTS -cat KEY   # verified entry body to stdout
 //
 // -store defaults to $PIPM_STORE, like the simulation CLIs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +25,42 @@ import (
 	"pipm"
 )
 
+// jsonSchema versions the -json report layout.
+const jsonSchema = "pipm-storecheck/v1"
+
+// report is the -json document. Field order is fixed for deterministic
+// output; Entries is omitted with -q.
+type report struct {
+	Schema     string      `json:"schema"`
+	Dir        string      `json:"dir"`
+	Count      int         `json:"count"`
+	TotalBytes int64       `json:"total_bytes"`
+	Verified   bool        `json:"verified"`
+	Corrupt    int         `json:"corrupt"`
+	GC         *gcReport   `json:"gc,omitempty"`
+	Entries    []entryInfo `json:"entries,omitempty"`
+}
+
+type gcReport struct {
+	MaxAge  string `json:"max_age"`
+	Removed int    `json:"removed"`
+}
+
+type entryInfo struct {
+	Key      string `json:"key"`
+	Size     int64  `json:"size"`
+	Modified string `json:"modified"`
+	// Status is "ok" or the verification error; empty without -verify.
+	Status string `json:"status,omitempty"`
+}
+
 func main() {
 	var (
 		storeDir = flag.String("store", os.Getenv("PIPM_STORE"), "result store directory (default $PIPM_STORE)")
 		verify   = flag.Bool("verify", false, "deep-verify every entry (header, checksum, Result digest); exit 1 if any fails")
 		gcAge    = flag.Duration("gc", 0, "remove entries older than this age (e.g. 720h), plus stale temp files")
+		jsonOut  = flag.Bool("json", false, "emit the machine-readable "+jsonSchema+" report instead of text")
+		catKey   = flag.String("cat", "", "write this entry's verified body to stdout and exit")
 		quiet    = flag.Bool("q", false, "suppress the per-entry listing; print only the summary")
 	)
 	flag.Parse()
@@ -39,57 +73,96 @@ func main() {
 		fatal(err)
 	}
 
+	if *catKey != "" {
+		if err := cat(st, *catKey); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	rep := report{Schema: jsonSchema, Dir: *storeDir, Verified: *verify}
 	if *gcAge > 0 {
 		removed, err := st.GC(*gcAge, time.Now())
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("gc: removed %d entries older than %v\n", removed, *gcAge)
+		rep.GC = &gcReport{MaxAge: gcAge.String(), Removed: removed}
 	}
 
 	entries, err := st.Entries()
 	if err != nil {
 		fatal(err)
 	}
-
-	var totalBytes int64
-	corrupt := 0
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	if !*quiet {
+	rep.Count = len(entries)
+	for _, e := range entries {
+		rep.TotalBytes += e.Size
+		info := entryInfo{Key: e.Key, Size: e.Size, Modified: e.ModTime.Format(time.RFC3339)}
 		if *verify {
+			info.Status = verifyEntry(st, e.Key)
+			if info.Status != "ok" {
+				rep.Corrupt++
+			}
+		}
+		if !*quiet {
+			rep.Entries = append(rep.Entries, info)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		printText(rep, *verify, *quiet)
+	}
+	if rep.Corrupt > 0 {
+		os.Exit(1)
+	}
+}
+
+// cat writes one entry's body to stdout after full verification, so piping
+// it onward can never propagate a corrupt artefact. The bytes are exactly
+// the stored content layer — byte-identical to what the daemon's
+// GET /v1/runs/{key} serves.
+func cat(st *pipm.ResultStore, key string) error {
+	body, err := st.Load(key)
+	if err != nil {
+		return err
+	}
+	if _, _, err := pipm.DecodeStoredResult(body); err != nil {
+		return fmt.Errorf("%.12s…: %w", key, err)
+	}
+	_, err = os.Stdout.Write(body)
+	return err
+}
+
+func printText(rep report, verify, quiet bool) {
+	if rep.GC != nil {
+		fmt.Printf("gc: removed %d entries older than %s\n", rep.GC.Removed, rep.GC.MaxAge)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if !quiet {
+		if verify {
 			fmt.Fprintln(tw, "KEY\tSIZE\tMODIFIED\tSTATUS")
 		} else {
 			fmt.Fprintln(tw, "KEY\tSIZE\tMODIFIED")
 		}
-	}
-	for _, e := range entries {
-		totalBytes += e.Size
-		status := ""
-		if *verify {
-			status = verifyEntry(st, e.Key)
-			if status != "ok" {
-				corrupt++
+		for _, e := range rep.Entries {
+			if verify {
+				fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", e.Key, e.Size, e.Modified, e.Status)
+			} else {
+				fmt.Fprintf(tw, "%s\t%d\t%s\n", e.Key, e.Size, e.Modified)
 			}
-		}
-		if *quiet {
-			continue
-		}
-		if *verify {
-			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", e.Key, e.Size, e.ModTime.Format(time.RFC3339), status)
-		} else {
-			fmt.Fprintf(tw, "%s\t%d\t%s\n", e.Key, e.Size, e.ModTime.Format(time.RFC3339))
 		}
 	}
 	tw.Flush()
-
-	fmt.Printf("%s: %d entries, %d bytes", *storeDir, len(entries), totalBytes)
-	if *verify {
-		fmt.Printf(", %d corrupt", corrupt)
+	fmt.Printf("%s: %d entries, %d bytes", rep.Dir, rep.Count, rep.TotalBytes)
+	if verify {
+		fmt.Printf(", %d corrupt", rep.Corrupt)
 	}
 	fmt.Println()
-	if corrupt > 0 {
-		os.Exit(1)
-	}
 }
 
 // verifyEntry deep-verifies one entry: the container load re-checks the

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -81,6 +83,13 @@ type engine struct {
 	workers  int
 	sem      chan struct{}
 	progress io.Writer
+	// onDone, when non-nil, receives one RunStats per completed execution
+	// (simulated or store-loaded; memo hits of an already-completed key do
+	// not re-fire). It is invoked while holding the engine lock — the same
+	// ordering seam as the progress lines — so callbacks observe completions
+	// in a single total order but must return quickly and must never call
+	// back into the engine.
+	onDone func(RunStats)
 	// store, when non-nil, is the persistent layer under the memo: a memo
 	// miss first consults the disk store and only simulates on a store
 	// miss (or a corrupt entry); completed simulations are written back.
@@ -104,7 +113,7 @@ type runEntry struct {
 	report audit.Report      // zero unless the request enabled auditing
 }
 
-func newEngine(workers int, progress io.Writer, st *store.Store) *engine {
+func newEngine(workers int, progress io.Writer, st *store.Store, onDone func(RunStats)) *engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -113,9 +122,15 @@ func newEngine(workers int, progress io.Writer, st *store.Store) *engine {
 		sem:      make(chan struct{}, workers),
 		progress: progress,
 		store:    st,
+		onDone:   onDone,
 		runs:     map[RunKey]*runEntry{},
 	}
 }
+
+// errAborted marks a run entry whose owner cancelled before the simulation
+// started: the entry has been removed from the memo, so a requester whose
+// own context is still live simply claims the key again.
+var errAborted = errors.New("harness: run aborted before execution (submitter cancelled)")
 
 // storeEligible reports whether the request may be answered from — and
 // written to — the persistent store. Audited runs are excluded: loading a
@@ -179,13 +194,39 @@ func (e *engine) storeSave(ent *runEntry, key RunKey) {
 // one execution (singleflight); callers with distinct keys run in parallel,
 // bounded by the worker pool.
 func (e *engine) get(req RunRequest) (Result, error) {
+	return e.getCtx(context.Background(), req)
+}
+
+// getCtx is get with cancellation. A context cancelled while the caller is
+// queued — waiting for another caller's execution, or waiting for a worker
+// slot — returns ctx.Err() promptly; a simulation that has already claimed a
+// worker slot runs to completion (its result is still valid, shared work)
+// and only the wait is abandoned. When the owning caller of a key aborts
+// before execution starts, the entry is removed from the memo so the key can
+// be claimed again; waiters whose own contexts are still live retry
+// transparently.
+func (e *engine) getCtx(ctx context.Context, req RunRequest) (Result, error) {
+	for {
+		res, err := e.getOnce(ctx, req)
+		if errors.Is(err, errAborted) && ctx.Err() == nil {
+			continue // the aborting owner removed the entry; claim it ourselves
+		}
+		return res, err
+	}
+}
+
+func (e *engine) getOnce(ctx context.Context, req RunRequest) (Result, error) {
 	key := req.Key()
 	e.mu.Lock()
 	if ent, ok := e.runs[key]; ok {
 		ent.stats.MemoHits++
 		e.mu.Unlock()
-		<-ent.done
-		return ent.res, ent.err
+		select {
+		case <-ent.done:
+			return ent.res, ent.err
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
 	}
 	ent := &runEntry{done: make(chan struct{})}
 	ent.stats = RunStats{
@@ -206,7 +247,19 @@ func (e *engine) get(req RunRequest) (Result, error) {
 		return ent.res, nil
 	}
 
-	e.sem <- struct{}{}
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		e.abort(ent, key)
+		return Result{}, ctx.Err()
+	}
+	if ctx.Err() != nil {
+		// The slot and the cancellation raced; honour the cancellation —
+		// nothing has executed yet.
+		<-e.sem
+		e.abort(ent, key)
+		return Result{}, ctx.Err()
+	}
 	start := time.Now()
 	ent.res, ent.telem, ent.report, ent.err = RunOneOpts(
 		req.Cfg, req.WL, req.Scheme, req.Records, req.Seed,
@@ -236,6 +289,20 @@ func (e *engine) get(req RunRequest) (Result, error) {
 	return ent.res, nil
 }
 
+// abort withdraws a claimed-but-never-executed entry: the owner's context
+// was cancelled while it waited for a worker slot. The entry leaves the memo
+// (so the key can be re-claimed by a live requester) and any waiters see
+// errAborted, which getCtx converts into a retry unless their own context is
+// also dead.
+func (e *engine) abort(ent *runEntry, key RunKey) {
+	e.mu.Lock()
+	delete(e.runs, key)
+	e.scheduled--
+	ent.err = errAborted
+	e.mu.Unlock()
+	close(ent.done)
+}
+
 // noteDone updates the progress counters and, when a progress writer is
 // attached, emits one completion line with a naive remaining-work ETA
 // (mean wall per run × outstanding runs ÷ workers). The line is written
@@ -250,6 +317,9 @@ func (e *engine) noteDone(ent *runEntry, wall time.Duration) {
 	defer e.mu.Unlock()
 	e.completed++
 	e.wallSum += wall
+	if e.onDone != nil {
+		e.onDone(ent.stats)
+	}
 	if e.progress == nil {
 		return
 	}
@@ -321,18 +391,49 @@ type Runner struct{ eng *engine }
 // (≤ 0 means GOMAXPROCS); progress, when non-nil, receives one line per
 // completed run.
 func NewRunner(workers int, progress io.Writer) *Runner {
-	return &Runner{eng: newEngine(workers, progress, nil)}
+	return &Runner{eng: newEngine(workers, progress, nil, nil)}
 }
 
 // NewRunnerOpts builds a runner from the full option set, including the
-// persistent result store (Options.Store) the plain constructor omits.
+// persistent result store (Options.Store) and the OnRunDone completion hook
+// the plain constructor omits.
 func NewRunnerOpts(o Options) *Runner {
-	return &Runner{eng: newEngine(o.Workers, o.Progress, o.Store)}
+	return &Runner{eng: newEngine(o.Workers, o.Progress, o.Store, o.OnRunDone)}
 }
 
 // Get returns the request's memoized Result, executing the simulation on
 // first request of its key. Audited requests fail on any invariant violation.
 func (r *Runner) Get(req RunRequest) (Result, error) { return r.eng.get(req) }
+
+// GetCtx is Get with cancellation: a context cancelled while the request is
+// queued (waiting on another caller's execution or on a worker slot) returns
+// ctx.Err() promptly and leaves the key claimable; a simulation that already
+// holds a worker slot runs to completion — results are shared work and stay
+// valid for every later requester.
+func (r *Runner) GetCtx(ctx context.Context, req RunRequest) (Result, error) {
+	return r.eng.getCtx(ctx, req)
+}
+
+// StatsFor returns the observability record of the request's run if that run
+// has completed on this runner; ok is false while it is still queued or
+// executing, or if the key was never requested.
+func (r *Runner) StatsFor(req RunRequest) (RunStats, bool) {
+	r.eng.mu.Lock()
+	ent, ok := r.eng.runs[req.Key()]
+	r.eng.mu.Unlock()
+	if !ok {
+		return RunStats{}, false
+	}
+	select {
+	case <-ent.done:
+	default:
+		return RunStats{}, false
+	}
+	r.eng.mu.Lock()
+	st := ent.stats
+	r.eng.mu.Unlock()
+	return st, true
+}
 
 // Report returns the audit report of a completed audited run, or a zero
 // report if the key was never requested (or auditing was off).

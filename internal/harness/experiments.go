@@ -28,7 +28,7 @@ type Suite struct {
 
 // NewSuite builds a suite.
 func NewSuite(opt Options) *Suite {
-	return &Suite{opt: opt, eng: newEngine(opt.Workers, opt.Progress, opt.Store)}
+	return &Suite{opt: opt, eng: newEngine(opt.Workers, opt.Progress, opt.Store, opt.OnRunDone)}
 }
 
 // Options returns the suite's options.

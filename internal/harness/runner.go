@@ -39,6 +39,12 @@ type Options struct {
 	// Progress, when non-nil, receives one line per completed simulation
 	// with wall/sim time, throughput and an ETA for the queued remainder.
 	Progress io.Writer
+	// OnRunDone, when non-nil, receives one RunStats per completed execution
+	// (simulated or store-loaded) in completion order — the engine's ordered
+	// progress seam, exported. It is invoked while the engine lock is held,
+	// so it must return quickly and must never call back into the engine or
+	// the Runner; the experiment service uses it for live metrics.
+	OnRunDone func(RunStats)
 
 	// Telemetry configures the observability subsystem for every run the
 	// suite executes. The zero value is disabled and keeps run keys — and

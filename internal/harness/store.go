@@ -64,6 +64,20 @@ func DecodeStoredResult(body []byte) (Result, bool, error) {
 	return se.Result, se.Telemetry != nil, nil
 }
 
+// DecodeStoredEntry is DecodeStoredResult returning the attached telemetry
+// output too (nil when the entry has none). The experiment service uses it
+// to serve time-series and Perfetto traces straight from the store.
+func DecodeStoredEntry(body []byte) (Result, *telemetry.Output, error) {
+	var se storeEntry
+	if err := json.Unmarshal(body, &se); err != nil {
+		return Result{}, nil, fmt.Errorf("undecodable entry body: %w", err)
+	}
+	if got := DigestResult(se.Result); got != se.Digest {
+		return Result{}, nil, fmt.Errorf("result digest %.12s… != recorded %.12s…", got, se.Digest)
+	}
+	return se.Result, se.Telemetry, nil
+}
+
 // StoreStats is the engine-facing snapshot of result-store traffic for one
 // sweep, embedded in the -json bench report's `store` block. Hits are runs
 // answered from disk without simulating; Misses and Corrupt both forced a

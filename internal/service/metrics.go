@@ -1,0 +1,73 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"pipm/internal/harness"
+	"pipm/internal/telemetry"
+)
+
+// Metrics is the service's process-level counter set, fed by the HTTP layer
+// and by the engine's OnRunDone completion hook. Everything is atomic: the
+// hook runs under the engine lock and must stay allocation- and lock-free.
+type Metrics struct {
+	JobsSubmitted  atomic.Uint64
+	JobsDeduped    atomic.Uint64
+	JobsDone       atomic.Uint64
+	JobsFailed     atomic.Uint64
+	JobsCancelled  atomic.Uint64
+	RunsCompleted  atomic.Uint64 // every engine completion (simulated or loaded)
+	Simulations    atomic.Uint64 // completions that actually simulated
+	StoreLoads     atomic.Uint64 // completions answered from the store
+	RunsFailed     atomic.Uint64
+	SSEClients     atomic.Int64
+	GCRuns         atomic.Uint64
+	GCRemovedTotal atomic.Uint64
+}
+
+// OnRunDone is the harness.Options.OnRunDone hook: called once per engine
+// completion, in completion order, with the engine lock held.
+func (m *Metrics) OnRunDone(st harness.RunStats) {
+	m.RunsCompleted.Add(1)
+	if st.StoreHit {
+		m.StoreLoads.Add(1)
+	} else {
+		m.Simulations.Add(1)
+	}
+}
+
+// WriteTo renders the exposition text: one `name value` line per counter,
+// Prometheus-style, sorted by name — the service counters first (pipm_*
+// namespace), then every instrument of the process telemetry registry (the
+// store gauges live there) with dots mapped to underscores.
+func (m *Metrics) WriteTo(w io.Writer, reg *telemetry.Registry) error {
+	lines := []string{
+		fmt.Sprintf("pipm_jobs_submitted_total %d", m.JobsSubmitted.Load()),
+		fmt.Sprintf("pipm_jobs_deduped_total %d", m.JobsDeduped.Load()),
+		fmt.Sprintf("pipm_jobs_done_total %d", m.JobsDone.Load()),
+		fmt.Sprintf("pipm_jobs_failed_total %d", m.JobsFailed.Load()),
+		fmt.Sprintf("pipm_jobs_cancelled_total %d", m.JobsCancelled.Load()),
+		fmt.Sprintf("pipm_runs_completed_total %d", m.RunsCompleted.Load()),
+		fmt.Sprintf("pipm_simulations_total %d", m.Simulations.Load()),
+		fmt.Sprintf("pipm_store_loads_total %d", m.StoreLoads.Load()),
+		fmt.Sprintf("pipm_runs_failed_total %d", m.RunsFailed.Load()),
+		fmt.Sprintf("pipm_sse_clients %d", m.SSEClients.Load()),
+		fmt.Sprintf("pipm_gc_runs_total %d", m.GCRuns.Load()),
+		fmt.Sprintf("pipm_gc_removed_total %d", m.GCRemovedTotal.Load()),
+	}
+	reg.Each(func(name string, v float64) {
+		name = "pipm_" + strings.NewReplacer(".", "_", "-", "_").Replace(name)
+		lines = append(lines, fmt.Sprintf("%s %g", name, v))
+	})
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

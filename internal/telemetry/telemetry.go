@@ -209,6 +209,20 @@ func (r *Registry) register(name string, fn func() float64) {
 	r.read = append(r.read, fn)
 }
 
+// Each calls fn once per registered scalar instrument with its current
+// value, in registration order. Unlike Snapshot it records nothing — it is
+// the read path for live exports (the experiment service's /metrics). No-op
+// on a nil registry. Not safe against concurrent registration; register
+// everything before the first Each, as the machine does before Run.
+func (r *Registry) Each(fn func(name string, value float64)) {
+	if r == nil {
+		return
+	}
+	for i, name := range r.names {
+		fn(name, r.read[i]())
+	}
+}
+
 // Snapshot reads every scalar instrument and appends one sample at time at.
 // No-op on a nil registry.
 func (r *Registry) Snapshot(at sim.Time) {
