@@ -8,6 +8,7 @@ package pipm_test
 // scale. cmd/experiments produces the full-scale tables.
 
 import (
+	"fmt"
 	"testing"
 
 	"pipm"
@@ -322,50 +323,57 @@ func BenchmarkAccessPath(b *testing.B) {
 }
 
 // BenchmarkAccessPathMultiHost pins the sequential-versus-PDES throughput
-// contrast on a 4-host machine: the "seq" sub-benchmark runs the classic
-// single-heap engine, "pdes" the partitioned windowed engine with a worker
-// per host. Both must produce bit-identical Results (checked every
-// iteration); the records/s metrics land in BENCH_quick.json via the
-// cmd/experiments -json -intra-parallel path. On a single-core runner the
-// PDES number trails sequential — the prepare pool only pays for itself
-// when GOMAXPROCS allows the per-host fills to overlap (DESIGN.md §13.5).
+// contrast at 4 and 64 hosts: the "seq" sub-benchmarks run the classic
+// single-heap engine, "pdes" the partitioned windowed engine. Both must
+// produce bit-identical Results (checked every iteration); the records/s
+// metrics land in BENCH_quick.json via the cmd/experiments -json
+// -intra-parallel path. The 64-host pair runs the sharded directory and the
+// full-width sharer bitmask with per-core records scaled down so total
+// trace volume matches the 4-host pair's. On a single-core runner the PDES
+// numbers trail sequential — the prepare pool only pays for itself when
+// GOMAXPROCS allows the per-host fills to overlap (DESIGN.md §13.5).
 func BenchmarkAccessPathMultiHost(b *testing.B) {
 	o := benchOptions()
-	cfg := o.Cfg
-	cfg.Hosts = 4
 	wl, _ := pipm.WorkloadByName("pr")
-	records := int64(20_000)
-	total := func(n int) float64 {
-		return float64(records) * float64(cfg.Hosts*cfg.CoresPerHost) * float64(n)
-	}
-	want, err := pipm.Run(cfg, wl, pipm.PIPM, records, o.Seed)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.Run("seq", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			res, err := pipm.Run(cfg, wl, pipm.PIPM, records, o.Seed)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if res != want {
-				b.Fatal("sequential run diverged from itself")
-			}
+	for _, hosts := range []int{4, 64} {
+		cfg := pipm.ScaleForHosts(o.Cfg, hosts)
+		records := pipm.ClusterScaleRecords(20_000, 4, hosts)
+		workers := hosts
+		if workers > 8 {
+			workers = 8
 		}
-		b.ReportMetric(total(b.N)/b.Elapsed().Seconds(), "records/s")
-	})
-	b.Run("pdes", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			res, err := pipm.RunIntra(cfg, wl, pipm.PIPM, records, o.Seed, cfg.Hosts)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if res != want {
-				b.Fatal("PDES run is not bit-identical to the sequential engine")
-			}
+		total := func(n int) float64 {
+			return float64(records) * float64(cfg.Hosts*cfg.CoresPerHost) * float64(n)
 		}
-		b.ReportMetric(total(b.N)/b.Elapsed().Seconds(), "records/s")
-	})
+		want, err := pipm.Run(cfg, wl, pipm.PIPM, records, o.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("seq-%dh", hosts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pipm.Run(cfg, wl, pipm.PIPM, records, o.Seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res != want {
+					b.Fatal("sequential run diverged from itself")
+				}
+			}
+			b.ReportMetric(total(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+		b.Run(fmt.Sprintf("pdes-%dh", hosts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := pipm.RunIntra(cfg, wl, pipm.PIPM, records, o.Seed, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res != want {
+					b.Fatal("PDES run is not bit-identical to the sequential engine")
+				}
+			}
+			b.ReportMetric(total(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
 }
 
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -37,8 +37,12 @@ import (
 var order = []string{
 	"table1", "table2", "fig4", "fig5", "fig10", "fig11", "fig12",
 	"fig13", "fig14", "fig15", "fig16", "fig17", "scalability",
-	"threshold", "adaptivity", "protocheck",
+	"clusterscale", "threshold", "adaptivity", "protocheck",
 }
+
+// clusterHosts is the parsed -hosts sweep for the clusterscale artefact;
+// empty means the default 4/16/64/256 ladder.
+var clusterHosts []int
 
 // stderr serialises every diagnostic writer — the engine's progress lines
 // (written from worker goroutines while holding the engine lock), the
@@ -70,6 +74,7 @@ func main() {
 		tsPath    = flag.String("timeseries", "", "write per-run interval time-series to this file (JSON, or CSV if the path ends in .csv)")
 		trPath    = flag.String("trace", "", "write per-run protocol event traces to this file (Chrome trace-event JSON, loadable in ui.perfetto.dev)")
 		sampleInt = flag.Duration("sample-interval", 10*time.Microsecond, "time-series sampling interval in simulated time (with -timeseries)")
+		hosts     = flag.String("hosts", "", "comma-separated host counts for the clusterscale artefact (default 4,16,64,256)")
 		storeDir  = flag.String("store", os.Getenv("PIPM_STORE"), "persistent result store directory: completed runs are written back and later sweeps load them instead of re-simulating (default $PIPM_STORE)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 
@@ -117,6 +122,18 @@ func main() {
 	ids, err := selectArtefacts(*exps)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Parse -hosts up front for the same reason: a malformed or out-of-range
+	// count must fail before any sweep starts.
+	if *hosts != "" {
+		for _, f := range strings.Split(*hosts, ",") {
+			var h int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &h); err != nil || h < 1 || h > pipm.MaxHosts {
+				fatal(fmt.Errorf("-hosts: %q is not a host count in 1..%d", f, pipm.MaxHosts))
+			}
+			clusterHosts = append(clusterHosts, h)
+		}
 	}
 
 	// Probe every output path up front for the same reason: an unwritable
@@ -211,7 +228,7 @@ func main() {
 		// With -intra-parallel, also record the sequential-vs-PDES multi-host
 		// throughput pair: the perf trajectory of the intra-run engine across
 		// PRs lives in BENCH_*.json next to the per-run timings.
-		var ib *intraBench
+		var ib, ib64 *intraBench
 		if *intraPar > 0 {
 			var err error
 			if ib, err = measureIntra(opt, *intraPar); err != nil {
@@ -219,8 +236,13 @@ func main() {
 			}
 			fmt.Fprintf(stderr, "[intra bench: seq %.0f rec/s, pdes(%d) %.0f rec/s, speedup %.2fx]\n",
 				ib.SeqRecordsPerSec, ib.Workers, ib.PDESRecordsPerSec, ib.Speedup)
+			if ib64, err = measureIntra64(opt, *intraPar); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(stderr, "[intra bench 64h: seq %.0f rec/s, pdes(%d) %.0f rec/s, speedup %.2fx]\n",
+				ib64.SeqRecordsPerSec, ib64.Workers, ib64.PDESRecordsPerSec, ib64.Speedup)
 		}
-		if err := writeBench(*jsonPath, suite, opt, arts, time.Since(wallStart), *parallel, *intraPar, ib, *quick, failed != nil); err != nil {
+		if err := writeBench(*jsonPath, suite, opt, arts, time.Since(wallStart), *parallel, *intraPar, ib, ib64, *quick, failed != nil); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(stderr, "[bench report written to %s]\n", *jsonPath)
@@ -319,8 +341,12 @@ type benchReport struct {
 	// present only when -store (or $PIPM_STORE) attached one.
 	Store *pipm.StoreStats `json:"store,omitempty"`
 	// IntraBench is the sequential-vs-PDES throughput pair recorded when
-	// -intra-parallel is set (see measureIntra).
-	IntraBench *intraBench `json:"intra_bench,omitempty"`
+	// -intra-parallel is set (see measureIntra). IntraBench64 is the same
+	// measurement at 64 hosts — sharded directory, full-width sharer mask —
+	// with per-core records scaled so total trace volume matches the base
+	// pair's.
+	IntraBench   *intraBench `json:"intra_bench,omitempty"`
+	IntraBench64 *intraBench `json:"intra_bench_64,omitempty"`
 }
 
 // intraBench records one multi-host run timed on both engines. The two runs
@@ -344,22 +370,38 @@ type intraBench struct {
 // and on the PDES engine with the requested worker count, and requires the
 // two Results to be bit-identical before reporting throughput.
 func measureIntra(opt pipm.SuiteOptions, workers int) (*intraBench, error) {
+	return measureIntraAt(opt.Cfg, opt.RecordsPerCore, opt.Seed, workers)
+}
+
+// measureIntra64 is measureIntra at 64 hosts: the config scaled through
+// pipm.ScaleForHosts (sharded directory widened with the host count) and
+// per-core records shrunk so total trace volume matches the base pair's.
+func measureIntra64(opt pipm.SuiteOptions, workers int) (*intraBench, error) {
+	const hosts = 64
+	cfg := pipm.ScaleForHosts(opt.Cfg, hosts)
+	records := pipm.ClusterScaleRecords(opt.RecordsPerCore, opt.Cfg.Hosts, hosts)
+	if workers > hosts {
+		workers = hosts
+	}
+	return measureIntraAt(cfg, records, opt.Seed, workers)
+}
+
+func measureIntraAt(cfg pipm.Config, records, seed int64, workers int) (*intraBench, error) {
 	wl, err := pipm.WorkloadByName("pr")
 	if err != nil {
 		return nil, err
 	}
-	records := opt.RecordsPerCore
-	totalRecords := records * int64(opt.Cfg.Hosts) * int64(opt.Cfg.CoresPerHost)
+	totalRecords := records * int64(cfg.Hosts) * int64(cfg.CoresPerHost)
 
 	seqStart := time.Now()
-	seqRes, err := pipm.Run(opt.Cfg, wl, pipm.PIPM, records, opt.Seed)
+	seqRes, err := pipm.Run(cfg, wl, pipm.PIPM, records, seed)
 	if err != nil {
 		return nil, err
 	}
 	seqWall := time.Since(seqStart)
 
 	pdesStart := time.Now()
-	pdesRes, err := pipm.RunIntra(opt.Cfg, wl, pipm.PIPM, records, opt.Seed, workers)
+	pdesRes, err := pipm.RunIntra(cfg, wl, pipm.PIPM, records, seed, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -371,8 +413,8 @@ func measureIntra(opt pipm.SuiteOptions, workers int) (*intraBench, error) {
 	ib := &intraBench{
 		Workload:       wl.Name,
 		Scheme:         pipm.PIPM.String(),
-		Hosts:          opt.Cfg.Hosts,
-		Cores:          opt.Cfg.CoresPerHost,
+		Hosts:          cfg.Hosts,
+		Cores:          cfg.CoresPerHost,
 		RecordsPerCore: records,
 		Workers:        workers,
 		SeqWallMS:      float64(seqWall) / float64(time.Millisecond),
@@ -397,7 +439,7 @@ type artefactTiming struct {
 }
 
 func writeBench(path string, s *pipm.Suite, opt pipm.SuiteOptions,
-	arts []*artefact, total time.Duration, parallel, intraPar int, ib *intraBench, quick, partial bool) error {
+	arts []*artefact, total time.Duration, parallel, intraPar int, ib, ib64 *intraBench, quick, partial bool) error {
 	rep := benchReport{
 		Schema:         "pipm-bench/v1",
 		Partial:        partial,
@@ -405,6 +447,7 @@ func writeBench(path string, s *pipm.Suite, opt pipm.SuiteOptions,
 		Parallel:       parallel,
 		IntraParallel:  intraPar,
 		IntraBench:     ib,
+		IntraBench64:   ib64,
 		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		RecordsPerCore: opt.RecordsPerCore,
 		Seed:           opt.Seed,
@@ -480,6 +523,15 @@ func run(w io.Writer, s *pipm.Suite, opt pipm.SuiteOptions, id string) error {
 		return printT(s.Fig17())
 	case "scalability":
 		return printT(s.Scalability(nil))
+	case "clusterscale":
+		tabs, err := s.ClusterScale(clusterHosts)
+		if err != nil {
+			return err
+		}
+		for _, t := range tabs {
+			fmt.Fprint(w, t.Format())
+		}
+		return nil
 	case "threshold":
 		return printT(s.ThresholdSensitivity(nil))
 	case "adaptivity":

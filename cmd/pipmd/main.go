@@ -31,16 +31,17 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:8080", "listen address")
-		storeDir = flag.String("store", os.Getenv("PIPM_STORE"), "persistent result store directory (default $PIPM_STORE; empty runs without a store)")
-		parallel = flag.Int("parallel", 0, "concurrent simulations on the shared engine (0 = GOMAXPROCS)")
-		maxJobs  = flag.Int("max-active-jobs", 2, "jobs executing at once; accepted jobs beyond this wait queued")
-		maxRuns  = flag.Int("max-runs", 4096, "reject sweeps expanding past this many runs")
-		reqTO    = flag.Duration("request-timeout", 30*time.Second, "per-request timeout (event streams are exempt)")
-		drainTO  = flag.Duration("drain", 10*time.Minute, "max time to wait for live jobs on shutdown before cancelling them")
-		gcAge    = flag.Duration("gc-age", 0, "collect store entries older than this (0 disables the GC task)")
-		gcEvery  = flag.Duration("gc-interval", time.Hour, "how often the GC task runs (with -gc-age)")
-		verbose  = flag.Bool("verbose", false, "log per-run engine progress")
+		addr      = flag.String("addr", "localhost:8080", "listen address")
+		storeDir  = flag.String("store", os.Getenv("PIPM_STORE"), "persistent result store directory (default $PIPM_STORE; empty runs without a store)")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations on the shared engine (0 = GOMAXPROCS)")
+		maxActive = flag.Int("max-active-jobs", 2, "jobs executing at once; accepted jobs beyond this wait queued")
+		maxJobs   = flag.Int("max-jobs", 1024, "job-table cap: past it the least-recently-accessed finished jobs are evicted (their results stay reachable via /v1/runs/{key})")
+		maxRuns   = flag.Int("max-runs", 4096, "reject sweeps expanding past this many runs")
+		reqTO     = flag.Duration("request-timeout", 30*time.Second, "per-request timeout (event streams are exempt)")
+		drainTO   = flag.Duration("drain", 10*time.Minute, "max time to wait for live jobs on shutdown before cancelling them")
+		gcAge     = flag.Duration("gc-age", 0, "collect store entries older than this (0 disables the GC task)")
+		gcEvery   = flag.Duration("gc-interval", time.Hour, "how often the GC task runs (with -gc-age)")
+		verbose   = flag.Bool("verbose", false, "log per-run engine progress")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -51,7 +52,8 @@ func main() {
 
 	cfg := service.Config{
 		Workers:         *parallel,
-		MaxActiveJobs:   *maxJobs,
+		MaxActiveJobs:   *maxActive,
+		MaxJobs:         *maxJobs,
 		MaxRunsPerSweep: *maxRuns,
 		RequestTimeout:  *reqTO,
 		Logf:            log.Printf,

@@ -92,7 +92,9 @@ func main() {
 	}
 	cfg := pipm.ScaledConfig()
 	if *hosts > 0 {
-		cfg.Hosts = *hosts
+		// ScaleForHosts also widens the directory slice count with the
+		// cluster, matching the harness's clusterscale configs.
+		cfg = pipm.ScaleForHosts(cfg, *hosts)
 	}
 	if *cores > 0 {
 		cfg.CoresPerHost = *cores

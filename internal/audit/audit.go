@@ -233,14 +233,14 @@ func (a *Auditor) Failf(at sim.Time, ring *telemetry.Trace, invariant, format st
 
 // LineFacts aggregates every host's view of one shared cache line plus the
 // matching device-directory and migration state. HolderMask/SharedMask/
-// L1StrayMask are host bitmasks; Excl* describe the (unique, if legal)
-// exclusive holder.
+// L1StrayMask are exact host sets (coherence.HostSet scales to the 256-host
+// cap); Excl* describe the (unique, if legal) exclusive holder.
 type LineFacts struct {
 	Line config.Addr
 
-	HolderMask  uint32 // hosts whose LLC holds a valid copy
-	SharedMask  uint32 // hosts whose LLC holds the line Shared
-	L1StrayMask uint32 // hosts where an L1 holds the line but the LLC does not
+	HolderMask  coherence.HostSet // hosts whose LLC holds a valid copy
+	SharedMask  coherence.HostSet // hosts whose LLC holds the line Shared
+	L1StrayMask coherence.HostSet // hosts where an L1 holds the line but the LLC does not
 
 	ExclCount int         // hosts holding the line M/E/ME in their LLC
 	ExclHost  int         // one such host (valid when ExclCount > 0)
@@ -264,8 +264,8 @@ func (a *Auditor) CheckLine(at sim.Time, ring *telemetry.Trace, fam Family, f *L
 	a.checks++
 
 	// Inclusion: an L1 may never hold a line its host's LLC lost.
-	if f.L1StrayMask != 0 {
-		a.Failf(at, ring, InvInclusion, "line %#x cached in L1(s) of hosts %032b but absent from their LLC", f.Line, f.L1StrayMask)
+	if !f.L1StrayMask.Empty() {
+		a.Failf(at, ring, InvInclusion, "line %#x cached in L1(s) of hosts %v but absent from their LLC", f.Line, f.L1StrayMask)
 	}
 
 	// The local-only idealisation has no cross-host sharing semantics at
@@ -280,8 +280,8 @@ func (a *Auditor) CheckLine(at sim.Time, ring *telemetry.Trace, fam Family, f *L
 	// holder excludes every other copy.
 	if f.ExclCount > 1 {
 		a.Failf(at, ring, InvSWMR, "line %#x has %d exclusive holders (last: host %d in %v)", f.Line, f.ExclCount, f.ExclHost, f.ExclState)
-	} else if f.ExclCount == 1 && f.HolderMask&^(1<<uint(f.ExclHost)) != 0 {
-		a.Failf(at, ring, InvSWMR, "line %#x held %v by host %d while hosts %032b also hold copies", f.Line, f.ExclState, f.ExclHost, f.HolderMask&^(1<<uint(f.ExclHost)))
+	} else if f.ExclCount == 1 && !f.HolderMask.Only(f.ExclHost) {
+		a.Failf(at, ring, InvSWMR, "line %#x held %v by host %d while hosts %v also hold copies", f.Line, f.ExclState, f.ExclHost, f.HolderMask.Without(f.ExclHost))
 	}
 
 	// Locally-resident blocks opt out of the device directory: kernel pages
@@ -289,8 +289,8 @@ func (a *Auditor) CheckLine(at sim.Time, ring *telemetry.Trace, fam Family, f *L
 	// rule is confinement — only the owner may cache the block and the
 	// directory must not track it.
 	if fam == FamilyKernel && f.PageOwner >= 0 {
-		if f.HolderMask&^(1<<uint(f.PageOwner)) != 0 {
-			a.Failf(at, ring, InvDirPrecision, "line %#x of page owned by host %d cached by hosts %032b", f.Line, f.PageOwner, f.HolderMask)
+		if !f.HolderMask.Without(f.PageOwner).Empty() {
+			a.Failf(at, ring, InvDirPrecision, "line %#x of page owned by host %d cached by hosts %v", f.Line, f.PageOwner, f.HolderMask)
 		}
 		if f.HasDir {
 			a.Failf(at, ring, InvDirPrecision, "line %#x of locally-resident page (host %d) has a device-directory entry %+v", f.Line, f.PageOwner, f.Dir)
@@ -307,14 +307,14 @@ func (a *Auditor) CheckLine(at sim.Time, ring *telemetry.Trace, fam Family, f *L
 		if f.HasDir {
 			a.Failf(at, ring, InvMigrated, "migrated line %#x has a device-directory entry %+v (I'/ME must be directory-Invalid)", f.Line, f.Dir)
 		}
-		if f.MigOwner >= 0 && f.HolderMask&^(1<<uint(f.MigOwner)) != 0 {
-			a.Failf(at, ring, InvMigrated, "migrated line %#x (owner %d) cached by hosts %032b", f.Line, f.MigOwner, f.HolderMask)
+		if f.MigOwner >= 0 && !f.HolderMask.Without(f.MigOwner).Empty() {
+			a.Failf(at, ring, InvMigrated, "migrated line %#x (owner %d) cached by hosts %v", f.Line, f.MigOwner, f.HolderMask)
 		}
 		if f.ExclCount == 1 && f.ExclState != cache.MigratedExclusive {
 			a.Failf(at, ring, InvMigrated, "migrated line %#x cached %v at host %d (want ME)", f.Line, f.ExclState, f.ExclHost)
 		}
-		if f.SharedMask != 0 {
-			a.Failf(at, ring, InvMigrated, "migrated line %#x held Shared by hosts %032b", f.Line, f.SharedMask)
+		if !f.SharedMask.Empty() {
+			a.Failf(at, ring, InvMigrated, "migrated line %#x held Shared by hosts %v", f.Line, f.SharedMask)
 		}
 		return
 	}
@@ -323,20 +323,21 @@ func (a *Auditor) CheckLine(at sim.Time, ring *telemetry.Trace, fam Family, f *L
 		a.Failf(at, ring, InvMigrated, "line %#x cached ME at host %d without its migrated bit set", f.Line, f.ExclHost)
 	}
 
-	// Directory precision for CXL-backed lines: the entry's view equals the
-	// holders' view exactly.
+	// Directory precision for CXL-backed lines: the entry's view must
+	// describe the holders' view — exact equality for bitmask sharer sets,
+	// population + region cover for summary sets (DESIGN.md §16).
 	switch {
 	case f.HasDir && f.Dir.State == coherence.DirShared:
 		if f.ExclCount != 0 {
 			a.Failf(at, ring, InvDirPrecision, "line %#x directory-Shared but host %d holds it %v", f.Line, f.ExclHost, f.ExclState)
 		}
-		if f.Dir.Sharers != f.SharedMask {
-			a.Failf(at, ring, InvDirPrecision, "line %#x directory sharers %032b != cached sharers %032b", f.Line, f.Dir.Sharers, f.SharedMask)
+		if !f.Dir.Sharers.Describes(f.SharedMask) {
+			a.Failf(at, ring, InvDirPrecision, "line %#x directory sharers %v do not describe cached sharers %v", f.Line, f.Dir.Sharers, f.SharedMask)
 		}
 	case f.HasDir && f.Dir.State == coherence.DirModified:
 		own := int(f.Dir.Owner)
-		if f.HolderMask != 1<<uint(own) {
-			a.Failf(at, ring, InvDirPrecision, "line %#x directory-Modified at host %d but cached by hosts %032b", f.Line, own, f.HolderMask)
+		if !f.HolderMask.Only(own) {
+			a.Failf(at, ring, InvDirPrecision, "line %#x directory-Modified at host %d but cached by hosts %v", f.Line, own, f.HolderMask)
 		} else if f.ExclCount != 1 || f.ExclHost != own ||
 			(f.ExclState != cache.Modified && f.ExclState != cache.Exclusive) {
 			a.Failf(at, ring, InvDirPrecision, "line %#x directory-Modified at host %d but held %v (excl=%d@%d)", f.Line, own, f.ExclState, f.ExclCount, f.ExclHost)
@@ -344,8 +345,8 @@ func (a *Auditor) CheckLine(at sim.Time, ring *telemetry.Trace, fam Family, f *L
 	default:
 		// No entry: conservation demands no host caches the line at all —
 		// a cached copy the directory forgot could never be invalidated.
-		if f.HolderMask != 0 {
-			a.Failf(at, ring, InvConservation, "line %#x cached by hosts %032b with no directory entry", f.Line, f.HolderMask)
+		if !f.HolderMask.Empty() {
+			a.Failf(at, ring, InvConservation, "line %#x cached by hosts %v with no directory entry", f.Line, f.HolderMask)
 		}
 	}
 }
@@ -361,7 +362,7 @@ type PageFacts struct {
 	Hosts     int
 	// OtherLocalMask marks hosts other than GlobalCur that hold a local
 	// entry for the page — always illegal.
-	OtherLocalMask uint32
+	OtherLocalMask coherence.HostSet
 }
 
 // CheckPage applies the remap-table agreement rules (§4.2/§4.4): the global
@@ -380,8 +381,8 @@ func (a *Auditor) CheckPage(at sim.Time, ring *telemetry.Trace, f *PageFacts) {
 	if f.GlobalCur >= 0 && f.LocalCnt > 15 {
 		a.Failf(at, ring, InvRemapAgree, "page %d revocation counter %d exceeds the 4-bit field", f.Page, f.LocalCnt)
 	}
-	if f.OtherLocalMask != 0 {
-		a.Failf(at, ring, InvRemapAgree, "page %d has local remapping entries at non-owner hosts %032b (owner %d)", f.Page, f.OtherLocalMask, f.GlobalCur)
+	if !f.OtherLocalMask.Empty() {
+		a.Failf(at, ring, InvRemapAgree, "page %d has local remapping entries at non-owner hosts %v (owner %d)", f.Page, f.OtherLocalMask, f.GlobalCur)
 	}
 }
 

@@ -41,8 +41,8 @@ func (s DirState) String() string {
 // Entry is one directory entry's visible content.
 type Entry struct {
 	State   DirState
-	Sharers uint32 // bitmask of caching hosts (valid in S)
-	Owner   int8   // owning host (valid in M)
+	Sharers SharerSet // caching hosts (valid in S)
+	Owner   int16     // owning host (valid in M)
 }
 
 type dirLine struct {
@@ -59,7 +59,8 @@ type BackInvalidation struct {
 	Entry Entry
 }
 
-// Stats counts directory events.
+// Stats counts directory events. Per-slice stats additionally count the
+// batched shootdown traffic the machine routes through each slice.
 type Stats struct {
 	Lookups    uint64
 	HitS       uint64
@@ -67,17 +68,48 @@ type Stats struct {
 	MissI      uint64
 	Installs   uint64
 	BackInvals uint64
+
+	// Shootdown rounds noted against this slice: Batches is the number of
+	// inter-host messages actually sent (one per sharer in the exact
+	// regime, one per presence region in the summary regime), Targets the
+	// number of hosts those messages covered. Batches < Targets is the
+	// multicast saving of coarse sharer tracking.
+	ShootdownBatches uint64
+	ShootdownTargets uint64
+}
+
+func (s *Stats) add(o Stats) {
+	s.Lookups += o.Lookups
+	s.HitS += o.HitS
+	s.HitM += o.HitM
+	s.MissI += o.MissI
+	s.Installs += o.Installs
+	s.BackInvals += o.BackInvals
+	s.ShootdownBatches += o.ShootdownBatches
+	s.ShootdownTargets += o.ShootdownTargets
+}
+
+// dirSlice is one address-hashed slice of the directory: its own lines,
+// LRU clock, O(1) occupancy counter and event counters. Entries of a set
+// never cross a slice, so a per-slice LRU clock preserves exactly the
+// relative recency order a single global clock establishes within any set.
+type dirSlice struct {
+	lines []dirLine // sets*ways
+	tick  uint64
+	occ   int
+	stats Stats
 }
 
 // DeviceDir is the sliced, set-associative device coherence directory.
 // Geometry comes from Table 2: Sets × Ways per slice, Slices slices; lines
-// hash to a slice then index a set within it.
+// hash to a slice then index a set within it. Both counts must be powers
+// of two — the slice hash is a mask, and harness.ScaleForHosts grows the
+// slice count with the host count so lookup ports keep pace.
 type DeviceDir struct {
-	sets, ways, slices int
-	lines              []dirLine // slices*sets*ways
-	tick               uint64
-	occ                int // valid entries, maintained so Occupancy is O(1)
-	stats              Stats
+	sets, ways int
+	sliceMask  config.Addr
+	sliceShift uint
+	slices     []dirSlice
 }
 
 // NewDeviceDir builds the directory from CXL configuration.
@@ -85,41 +117,65 @@ func NewDeviceDir(cfg config.CXLConfig) *DeviceDir {
 	if cfg.DirSets <= 0 || cfg.DirSets&(cfg.DirSets-1) != 0 {
 		panic(fmt.Sprintf("coherence: %d directory sets is not a power of two", cfg.DirSets))
 	}
-	return &DeviceDir{
-		sets:   cfg.DirSets,
-		ways:   cfg.DirWays,
-		slices: cfg.DirSlices,
-		lines:  make([]dirLine, cfg.DirSets*cfg.DirWays*cfg.DirSlices),
+	if cfg.DirSlices <= 0 || cfg.DirSlices&(cfg.DirSlices-1) != 0 {
+		panic(fmt.Sprintf("coherence: %d directory slices is not a power of two", cfg.DirSlices))
 	}
+	d := &DeviceDir{
+		sets:       cfg.DirSets,
+		ways:       cfg.DirWays,
+		sliceMask:  config.Addr(cfg.DirSlices - 1),
+		sliceShift: uint(log2(cfg.DirSlices)),
+		slices:     make([]dirSlice, cfg.DirSlices),
+	}
+	for i := range d.slices {
+		d.slices[i].lines = make([]dirLine, cfg.DirSets*cfg.DirWays)
+	}
+	return d
 }
 
 // Capacity returns the number of entries the directory can hold.
-func (d *DeviceDir) Capacity() int { return d.sets * d.ways * d.slices }
+func (d *DeviceDir) Capacity() int { return d.sets * d.ways * len(d.slices) }
 
-func (d *DeviceDir) setFor(line config.Addr) []dirLine {
-	slice := int(line) % d.slices
-	set := int(line/config.Addr(d.slices)) & (d.sets - 1)
-	idx := (slice*d.sets + set) * d.ways
-	return d.lines[idx : idx+d.ways]
+// Slices returns the slice count.
+func (d *DeviceDir) Slices() int { return len(d.slices) }
+
+// SliceFor returns the slice index line hashes to.
+func (d *DeviceDir) SliceFor(line config.Addr) int { return int(line & d.sliceMask) }
+
+func (d *DeviceDir) setFor(line config.Addr) (*dirSlice, []dirLine) {
+	sl := &d.slices[line&d.sliceMask]
+	set := int(line>>d.sliceShift) & (d.sets - 1)
+	idx := set * d.ways
+	return sl, sl.lines[idx : idx+d.ways]
+}
+
+// log2 returns the exponent of a power of two.
+func log2(n int) int {
+	e := 0
+	for n > 1 {
+		n >>= 1
+		e++
+	}
+	return e
 }
 
 // Lookup returns the entry for line, if present. It does not refresh LRU;
 // use Touch after deciding the request will use the entry.
 func (d *DeviceDir) Lookup(line config.Addr) (Entry, bool) {
-	d.stats.Lookups++
-	set := d.setFor(line)
+	sl, set := d.setFor(line)
+	sl.stats.Lookups++
 	for i := range set {
 		if set[i].valid && set[i].tag == line {
 			switch set[i].entry.State {
 			case DirShared:
-				d.stats.HitS++
+				sl.stats.HitS++
 			case DirModified:
-				d.stats.HitM++
+				sl.stats.HitM++
 			}
 			return set[i].entry, true
 		}
 	}
-	d.stats.MissI++
+	sl.stats.MissI++
 	return Entry{}, false
 }
 
@@ -127,7 +183,7 @@ func (d *DeviceDir) Lookup(line config.Addr) (Entry, bool) {
 // statistics. Directory audits use this instead of Lookup so an audited run
 // keeps the exact same stats stream as an unaudited one.
 func (d *DeviceDir) Peek(line config.Addr) (Entry, bool) {
-	set := d.setFor(line)
+	_, set := d.setFor(line)
 	for i := range set {
 		if set[i].valid && set[i].tag == line {
 			return set[i].entry, true
@@ -139,9 +195,12 @@ func (d *DeviceDir) Peek(line config.Addr) (Entry, bool) {
 // ForEach invokes fn for every valid entry without touching LRU order or
 // statistics (observation-only, for the invariant auditor).
 func (d *DeviceDir) ForEach(fn func(line config.Addr, e Entry)) {
-	for i := range d.lines {
-		if d.lines[i].valid {
-			fn(d.lines[i].tag, d.lines[i].entry)
+	for s := range d.slices {
+		lines := d.slices[s].lines
+		for i := range lines {
+			if lines[i].valid {
+				fn(lines[i].tag, lines[i].entry)
+			}
 		}
 	}
 }
@@ -150,17 +209,17 @@ func (d *DeviceDir) ForEach(fn func(line config.Addr, e Entry)) {
 // back-invalidation if a victim in use had to be displaced. Passing an
 // entry with State == DirInvalid removes the line's entry instead.
 func (d *DeviceDir) Update(line config.Addr, e Entry) (BackInvalidation, bool) {
-	set := d.setFor(line)
-	d.tick++
+	sl, set := d.setFor(line)
+	sl.tick++
 	for i := range set {
 		if set[i].valid && set[i].tag == line {
 			if e.State == DirInvalid {
 				set[i] = dirLine{}
-				d.occ--
+				sl.occ--
 				return BackInvalidation{}, false
 			}
 			set[i].entry = e
-			set[i].lru = d.tick
+			set[i].lru = sl.tick
 			return BackInvalidation{}, false
 		}
 	}
@@ -185,25 +244,25 @@ func (d *DeviceDir) Update(line config.Addr, e Entry) (BackInvalidation, bool) {
 		}
 		bi = BackInvalidation{Line: set[victim].tag, Entry: set[victim].entry}
 		evicted = true
-		d.stats.BackInvals++
+		sl.stats.BackInvals++
 	}
-	set[victim] = dirLine{tag: line, valid: true, lru: d.tick, entry: e}
+	set[victim] = dirLine{tag: line, valid: true, lru: sl.tick, entry: e}
 	if !evicted {
-		d.occ++
+		sl.occ++
 	}
-	d.stats.Installs++
+	sl.stats.Installs++
 	return bi, evicted
 }
 
 // Remove drops line's entry (eviction notifications from hosts), returning
 // the entry it held.
 func (d *DeviceDir) Remove(line config.Addr) (Entry, bool) {
-	set := d.setFor(line)
+	sl, set := d.setFor(line)
 	for i := range set {
 		if set[i].valid && set[i].tag == line {
 			e := set[i].entry
 			set[i] = dirLine{}
-			d.occ--
+			sl.occ--
 			return e, true
 		}
 	}
@@ -213,22 +272,22 @@ func (d *DeviceDir) Remove(line config.Addr) (Entry, bool) {
 // RemoveSharer clears host h from line's sharer set, dropping the entry when
 // the set empties. It reports whether an entry remains.
 func (d *DeviceDir) RemoveSharer(line config.Addr, h int) bool {
-	set := d.setFor(line)
+	sl, set := d.setFor(line)
 	for i := range set {
 		if set[i].valid && set[i].tag == line {
 			e := &set[i].entry
 			switch e.State {
 			case DirShared:
-				e.Sharers &^= 1 << uint(h)
-				if e.Sharers == 0 {
+				e.Sharers = e.Sharers.Without(h)
+				if e.Sharers.Empty() {
 					set[i] = dirLine{}
-					d.occ--
+					sl.occ--
 					return false
 				}
 			case DirModified:
 				if int(e.Owner) == h {
 					set[i] = dirLine{}
-					d.occ--
+					sl.occ--
 					return false
 				}
 			}
@@ -238,28 +297,34 @@ func (d *DeviceDir) RemoveSharer(line config.Addr, h int) bool {
 	return false
 }
 
-// Occupancy returns the number of valid entries.
-func (d *DeviceDir) Occupancy() int { return d.occ }
+// NoteShootdown records an invalidation round the machine priced against
+// line's slice: batches inter-host messages covering targets hosts.
+func (d *DeviceDir) NoteShootdown(line config.Addr, batches, targets int) {
+	sl := &d.slices[line&d.sliceMask]
+	sl.stats.ShootdownBatches += uint64(batches)
+	sl.stats.ShootdownTargets += uint64(targets)
+}
 
-// Stats returns accumulated counters.
-func (d *DeviceDir) Stats() Stats { return d.stats }
-
-// SharerCount returns the number of hosts in a sharer mask.
-func SharerCount(mask uint32) int {
+// Occupancy returns the number of valid entries (O(1) per slice).
+func (d *DeviceDir) Occupancy() int {
 	n := 0
-	for mask != 0 {
-		mask &= mask - 1
-		n++
+	for i := range d.slices {
+		n += d.slices[i].occ
 	}
 	return n
 }
 
-// ForEachSharer invokes fn for each host set in mask.
-func ForEachSharer(mask uint32, fn func(host int)) {
-	for h := 0; mask != 0; h++ {
-		if mask&1 != 0 {
-			fn(h)
-		}
-		mask >>= 1
+// SliceOccupancy returns slice s's valid-entry count.
+func (d *DeviceDir) SliceOccupancy(s int) int { return d.slices[s].occ }
+
+// SliceStats returns slice s's accumulated counters.
+func (d *DeviceDir) SliceStats(s int) Stats { return d.slices[s].stats }
+
+// Stats returns counters accumulated across all slices.
+func (d *DeviceDir) Stats() Stats {
+	var t Stats
+	for i := range d.slices {
+		t.add(d.slices[i].stats)
 	}
+	return t
 }

@@ -22,9 +22,9 @@ func TestLookupMissThenInstall(t *testing.T) {
 	if _, ok := d.Lookup(42); ok {
 		t.Fatal("hit in empty directory")
 	}
-	d.Update(42, Entry{State: DirShared, Sharers: 0b0101})
+	d.Update(42, Entry{State: DirShared, Sharers: SharerSetOf(0, 0, 2)})
 	e, ok := d.Lookup(42)
-	if !ok || e.State != DirShared || e.Sharers != 0b0101 {
+	if !ok || e.State != DirShared || e.Sharers != SharerSetOf(0, 0, 2) {
 		t.Fatalf("Lookup = %+v, %v", e, ok)
 	}
 	s := d.Stats()
@@ -35,7 +35,7 @@ func TestLookupMissThenInstall(t *testing.T) {
 
 func TestUpdateInPlace(t *testing.T) {
 	d := tiny()
-	d.Update(7, Entry{State: DirShared, Sharers: 1})
+	d.Update(7, Entry{State: DirShared, Sharers: SharerSetOf(0, 0)})
 	if _, evicted := d.Update(7, Entry{State: DirModified, Owner: 3}); evicted {
 		t.Fatal("in-place update evicted")
 	}
@@ -50,7 +50,7 @@ func TestUpdateInPlace(t *testing.T) {
 
 func TestUpdateInvalidRemoves(t *testing.T) {
 	d := tiny()
-	d.Update(7, Entry{State: DirShared, Sharers: 1})
+	d.Update(7, Entry{State: DirShared, Sharers: SharerSetOf(0, 0)})
 	d.Update(7, Entry{State: DirInvalid})
 	if _, ok := d.Lookup(7); ok {
 		t.Fatal("entry survived invalidating update")
@@ -68,9 +68,9 @@ func TestBackInvalidation(t *testing.T) {
 	d := tiny()
 	// Fill one set: lines mapping to slice 0, set 0 are multiples of
 	// slices*sets = 8.
-	d.Update(0, Entry{State: DirShared, Sharers: 1})
+	d.Update(0, Entry{State: DirShared, Sharers: SharerSetOf(0, 0)})
 	d.Update(8*1, Entry{State: DirModified, Owner: 2})
-	bi, evicted := d.Update(8*2, Entry{State: DirShared, Sharers: 2})
+	bi, evicted := d.Update(8*2, Entry{State: DirShared, Sharers: SharerSetOf(0, 1)})
 	if !evicted {
 		t.Fatal("third entry in 2-way set did not back-invalidate")
 	}
@@ -96,13 +96,13 @@ func TestRemove(t *testing.T) {
 
 func TestRemoveSharer(t *testing.T) {
 	d := tiny()
-	d.Update(5, Entry{State: DirShared, Sharers: 0b0110})
+	d.Update(5, Entry{State: DirShared, Sharers: SharerSetOf(0, 1, 2)})
 	if !d.RemoveSharer(5, 1) {
 		t.Fatal("entry should remain with one sharer left")
 	}
 	e, _ := d.Lookup(5)
-	if e.Sharers != 0b0100 {
-		t.Fatalf("sharers = %b", e.Sharers)
+	if e.Sharers != SharerSetOf(0, 2) {
+		t.Fatalf("sharers = %v", e.Sharers)
 	}
 	if d.RemoveSharer(5, 2) {
 		t.Fatal("entry should vanish when last sharer leaves")
@@ -131,7 +131,7 @@ func TestSlicingSpreadsEntries(t *testing.T) {
 	// 16 consecutive lines should all fit: consecutive lines alternate
 	// slices and walk sets.
 	for i := config.Addr(0); i < 16; i++ {
-		if _, evicted := d.Update(i, Entry{State: DirShared, Sharers: 1}); evicted {
+		if _, evicted := d.Update(i, Entry{State: DirShared, Sharers: SharerSetOf(0, 0)}); evicted {
 			t.Fatalf("eviction while filling to capacity at line %d", i)
 		}
 	}
@@ -144,7 +144,7 @@ func TestCapacityNeverExceeded(t *testing.T) {
 	d := tiny()
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 2000; i++ {
-		d.Update(config.Addr(rng.Intn(4096)), Entry{State: DirShared, Sharers: 1})
+		d.Update(config.Addr(rng.Intn(4096)), Entry{State: DirShared, Sharers: SharerSetOf(0, 0)})
 		if d.Occupancy() > d.Capacity() {
 			t.Fatal("occupancy exceeded capacity")
 		}
@@ -159,17 +159,6 @@ func TestDefaultGeometryMatchesTable2(t *testing.T) {
 	}
 }
 
-func TestSharerHelpers(t *testing.T) {
-	if SharerCount(0) != 0 || SharerCount(0b1011) != 3 {
-		t.Fatal("SharerCount wrong")
-	}
-	var hosts []int
-	ForEachSharer(0b1010, func(h int) { hosts = append(hosts, h) })
-	if len(hosts) != 2 || hosts[0] != 1 || hosts[1] != 3 {
-		t.Fatalf("ForEachSharer = %v", hosts)
-	}
-}
-
 func TestNewRejectsBadSets(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -177,6 +166,15 @@ func TestNewRejectsBadSets(t *testing.T) {
 		}
 	}()
 	NewDeviceDir(config.CXLConfig{DirSets: 3, DirWays: 1, DirSlices: 1})
+}
+
+func TestNewRejectsBadSlices(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-power-of-two slices")
+		}
+	}()
+	NewDeviceDir(config.CXLConfig{DirSets: 4, DirWays: 1, DirSlices: 3})
 }
 
 // Property: Update/Remove/RemoveSharer keep a shadow ledger exactly in sync.
@@ -188,14 +186,21 @@ func TestDirectoryLedgerProperty(t *testing.T) {
 		line := config.Addr(rng.Intn(64))
 		switch rng.Intn(4) {
 		case 0:
-			e := Entry{State: DirShared, Sharers: uint32(rng.Intn(15) + 1)}
+			mask := rng.Intn(15) + 1
+			var ss SharerSet
+			for h := 0; h < 4; h++ {
+				if mask&(1<<h) != 0 {
+					ss = ss.With(h)
+				}
+			}
+			e := Entry{State: DirShared, Sharers: ss}
 			bi, ev := d.Update(line, e)
 			shadow[line] = e
 			if ev {
 				delete(shadow, bi.Line)
 			}
 		case 1:
-			e := Entry{State: DirModified, Owner: int8(rng.Intn(4))}
+			e := Entry{State: DirModified, Owner: int16(rng.Intn(4))}
 			bi, ev := d.Update(line, e)
 			shadow[line] = e
 			if ev {
@@ -210,8 +215,8 @@ func TestDirectoryLedgerProperty(t *testing.T) {
 			if e, ok := shadow[line]; ok {
 				switch e.State {
 				case DirShared:
-					e.Sharers &^= 1 << uint(h)
-					if e.Sharers == 0 {
+					e.Sharers = e.Sharers.Without(h)
+					if e.Sharers.Empty() {
 						delete(shadow, line)
 					} else {
 						shadow[line] = e

@@ -1,0 +1,307 @@
+package coherence
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// SharerSet is the directory's set-of-caching-hosts representation, sized
+// for clusters (DESIGN.md §16). It is a value type with two wire formats
+// selected per-config at build time by SharerShiftFor:
+//
+//   - shift == 0 (exact, hosts ≤ 64): bits is a plain host bitmask — the
+//     same inline fast path the 4-host directory always had, now 64 wide.
+//   - shift > 0 (summary, hosts > 64): a real directory cannot afford a
+//     256-bit vector per entry, so bits becomes a 64-region presence
+//     vector (each region covers 1<<shift consecutive hosts) and count
+//     keeps the exact sharer population. Membership is approximate at
+//     region granularity; invalidation rounds fan out to every host of a
+//     present region (over-invalidation is the documented cost of coarse
+//     tracking, cf. coarse sparse directories).
+//
+// The summary representation relies on the directory-precision invariant
+// the auditor enforces: the protocol never adds a host that is already a
+// sharer and never removes one that is not, so count stays exact without
+// per-host bits. Region bits are only cleared when the set empties.
+type SharerSet struct {
+	bits  uint64
+	count uint16
+	shift uint8
+}
+
+// SharerShiftFor returns the region shift for a host count: 0 (exact
+// bitmask) up to 64 hosts, then the smallest shift folding the hosts into
+// at most 64 regions (65..128 → 1, 129..256 → 2).
+func SharerShiftFor(hosts int) uint8 {
+	shift := uint8(0)
+	for hosts > 64 {
+		hosts = (hosts + 1) / 2
+		shift++
+	}
+	return shift
+}
+
+// NewSharerSet returns an empty set using the representation for shift.
+func NewSharerSet(shift uint8) SharerSet { return SharerSet{shift: shift} }
+
+// SharerSetOf builds a set from explicit hosts (test/construction helper).
+func SharerSetOf(shift uint8, hosts ...int) SharerSet {
+	s := NewSharerSet(shift)
+	for _, h := range hosts {
+		s = s.With(h)
+	}
+	return s
+}
+
+// Exact reports whether the set tracks individual hosts (shift == 0).
+func (s SharerSet) Exact() bool { return s.shift == 0 }
+
+// Shift returns the region shift (0 in exact mode). Hosts g and h belong
+// to the same shootdown batch iff g>>Shift() == h>>Shift().
+func (s SharerSet) Shift() uint8 { return s.shift }
+
+// Empty reports whether no host is in the set.
+func (s SharerSet) Empty() bool {
+	if s.shift == 0 {
+		return s.bits == 0
+	}
+	return s.count == 0
+}
+
+// Count returns the exact number of sharers (both representations).
+func (s SharerSet) Count() int { return int(s.count) }
+
+// Contains reports membership. In summary mode this is approximate: it
+// answers at region granularity and may report hosts that merely share a
+// region with a true sharer.
+func (s SharerSet) Contains(h int) bool {
+	if s.shift == 0 {
+		return s.bits&(uint64(1)<<uint(h)) != 0
+	}
+	return s.count > 0 && s.bits&(uint64(1)<<uint(h>>s.shift)) != 0
+}
+
+// With returns the set with host h added. Exact mode is idempotent; in
+// summary mode the caller must not add a host that is already a member
+// (the protocol guarantees this via directory precision).
+func (s SharerSet) With(h int) SharerSet {
+	if s.shift == 0 {
+		b := uint64(1) << uint(h)
+		if s.bits&b != 0 {
+			return s
+		}
+		s.bits |= b
+		s.count++
+		return s
+	}
+	s.bits |= uint64(1) << uint(h>>s.shift)
+	s.count++
+	return s
+}
+
+// Without returns the set with host h removed. In summary mode the caller
+// must only remove actual members (directory precision again); removing
+// from an absent region is a no-op, and the region vector resets only when
+// the set empties.
+func (s SharerSet) Without(h int) SharerSet {
+	if s.shift == 0 {
+		b := uint64(1) << uint(h)
+		if s.bits&b == 0 {
+			return s
+		}
+		s.bits &^= b
+		s.count--
+		return s
+	}
+	if s.count == 0 || s.bits&(uint64(1)<<uint(h>>s.shift)) == 0 {
+		return s
+	}
+	s.count--
+	if s.count == 0 {
+		s.bits = 0
+	}
+	return s
+}
+
+// Regions returns the number of distinct presence regions currently set
+// (1 per host in exact mode). Batched shootdowns send one message per
+// region, so this is the message count of an invalidation round.
+func (s SharerSet) Regions() int { return bits.OnesCount64(s.bits) }
+
+// Describes reports whether the set is a legal directory description of
+// the exact holder set hs: equality in exact mode; in summary mode the
+// population must match and every holder must fall in a present region.
+func (s SharerSet) Describes(hs HostSet) bool {
+	if s.shift == 0 {
+		return hs.w[1]|hs.w[2]|hs.w[3] == 0 && s.bits == hs.w[0]
+	}
+	if int(s.count) != hs.Count() {
+		return false
+	}
+	for w := range hs.w {
+		for word := hs.w[w]; word != 0; word &= word - 1 {
+			h := w*64 + bits.TrailingZeros64(word)
+			if s.bits&(uint64(1)<<uint(h>>s.shift)) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s SharerSet) String() string {
+	if s.shift == 0 {
+		return fmt.Sprintf("sharers{%064b}", s.bits)
+	}
+	return fmt.Sprintf("sharers{n=%d regions=%064b<<%d}", s.count, s.bits, s.shift)
+}
+
+// Iter returns a value iterator over the set's hosts, clamped to the
+// machine's host count. Exact mode yields exactly the members; summary
+// mode yields every host of every present region (the candidate fan-out of
+// a coarse invalidation). Order is ascending host ID in both modes — the
+// same order the hand-inlined `sh &= sh - 1` loops always walked — and the
+// iterator is a stack value, so hot-path loops stay allocation-free where
+// a closure-based ForEachSharer would not.
+func (s SharerSet) Iter(hosts int) SharerIter {
+	it := SharerIter{rem: s.bits, shift: s.shift, hosts: hosts}
+	if s.shift != 0 && s.count == 0 {
+		it.rem = 0
+	}
+	return it
+}
+
+// SharerIter walks a SharerSet low host to high. Use as:
+//
+//	it := e.Sharers.Iter(m.cfg.Hosts)
+//	for it.Next() { g := it.Host() ... }
+type SharerIter struct {
+	rem      uint64
+	cur, end int
+	hosts    int
+	host     int
+	shift    uint8
+}
+
+// Next advances to the next host, reporting whether one exists.
+func (it *SharerIter) Next() bool {
+	if it.shift == 0 {
+		if it.rem == 0 {
+			return false
+		}
+		it.host = bits.TrailingZeros64(it.rem)
+		it.rem &= it.rem - 1
+		return true
+	}
+	if it.cur < it.end {
+		it.host = it.cur
+		it.cur++
+		return true
+	}
+	if it.rem == 0 {
+		return false
+	}
+	r := bits.TrailingZeros64(it.rem)
+	it.rem &= it.rem - 1
+	lo := r << it.shift
+	if lo >= it.hosts {
+		// Regions iterate ascending, so everything further is out of range.
+		it.rem = 0
+		return false
+	}
+	hi := lo + 1<<it.shift
+	if hi > it.hosts {
+		hi = it.hosts
+	}
+	it.host = lo
+	it.cur = lo + 1
+	it.end = hi
+	return true
+}
+
+// Host returns the current host after a true Next.
+func (it *SharerIter) Host() int { return it.host }
+
+// HostSet is an exact 256-bit host set for observation-side bookkeeping
+// (auditor aggregation, fact reports). Unlike SharerSet it is never stored
+// in a directory entry and never approximates; the auditor builds one per
+// line and asks the directory's SharerSet whether it Describes it.
+type HostSet struct {
+	w [4]uint64
+}
+
+// HostSetOf builds a set from explicit hosts.
+func HostSetOf(hosts ...int) HostSet {
+	var s HostSet
+	for _, h := range hosts {
+		s.Add(h)
+	}
+	return s
+}
+
+// Add inserts host.
+func (s *HostSet) Add(host int) { s.w[host>>6] |= uint64(1) << uint(host&63) }
+
+// Del removes host.
+func (s *HostSet) Del(host int) { s.w[host>>6] &^= uint64(1) << uint(host&63) }
+
+// Contains reports membership.
+func (s HostSet) Contains(host int) bool {
+	return s.w[host>>6]&(uint64(1)<<uint(host&63)) != 0
+}
+
+// Count returns the population.
+func (s HostSet) Count() int {
+	n := 0
+	for _, w := range s.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s HostSet) Empty() bool { return s.w[0]|s.w[1]|s.w[2]|s.w[3] == 0 }
+
+// Without returns the set minus host.
+func (s HostSet) Without(host int) HostSet {
+	s.w[host>>6] &^= uint64(1) << uint(host&63)
+	return s
+}
+
+// Minus returns the set difference s − o.
+func (s HostSet) Minus(o HostSet) HostSet {
+	for i := range s.w {
+		s.w[i] &^= o.w[i]
+	}
+	return s
+}
+
+// Only reports whether host is the set's sole member.
+func (s HostSet) Only(host int) bool {
+	return s.Contains(host) && s.Without(host).Empty()
+}
+
+// ForEach invokes fn for every member, ascending.
+func (s HostSet) ForEach(fn func(host int)) {
+	for i, w := range s.w {
+		for ; w != 0; w &= w - 1 {
+			fn(i*64 + bits.TrailingZeros64(w))
+		}
+	}
+}
+
+func (s HostSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(h int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", h)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

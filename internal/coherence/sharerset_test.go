@@ -1,0 +1,171 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSharerShiftFor(t *testing.T) {
+	for _, tc := range []struct {
+		hosts int
+		shift uint8
+	}{
+		{1, 0}, {4, 0}, {32, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2}, {256, 2},
+	} {
+		if got := SharerShiftFor(tc.hosts); got != tc.shift {
+			t.Errorf("SharerShiftFor(%d) = %d, want %d", tc.hosts, got, tc.shift)
+		}
+	}
+}
+
+// Property: at widths 4, 64 (exact) and 256 (summary), the set agrees with a
+// reference membership map under random add/remove sequences that respect the
+// directory-precision invariant (never add a member, never remove a
+// non-member — the protocol guarantees both). Checked every step: exact
+// count, no false-negative Contains, an ascending duplicate-free iterator
+// that covers every member and stays in range, and Describes of the true
+// holder set.
+func TestSharerSetMatchesReference(t *testing.T) {
+	for _, hosts := range []int{4, 64, 256} {
+		hosts := hosts
+		shift := SharerShiftFor(hosts)
+		t.Run(map[bool]string{true: "exact", false: "summary"}[shift == 0], func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(hosts)))
+			s := NewSharerSet(shift)
+			ref := map[int]bool{}
+			for step := 0; step < 5000; step++ {
+				h := rng.Intn(hosts)
+				if ref[h] {
+					delete(ref, h)
+					s = s.Without(h)
+				} else {
+					ref[h] = true
+					s = s.With(h)
+				}
+
+				if s.Count() != len(ref) {
+					t.Fatalf("step %d: Count = %d, ref %d", step, s.Count(), len(ref))
+				}
+				if s.Empty() != (len(ref) == 0) {
+					t.Fatalf("step %d: Empty = %v with %d members", step, s.Empty(), len(ref))
+				}
+				for m := range ref {
+					if !s.Contains(m) {
+						t.Fatalf("step %d: false negative for member %d", step, m)
+					}
+				}
+				var hs HostSet
+				prev, candidates := -1, 0
+				it := s.Iter(hosts)
+				for it.Next() {
+					g := it.Host()
+					if g <= prev || g >= hosts {
+						t.Fatalf("step %d: iterator yielded %d after %d (hosts %d)", step, g, prev, hosts)
+					}
+					prev = g
+					candidates++
+					hs.Add(g)
+				}
+				for m := range ref {
+					if !hs.Contains(m) {
+						t.Fatalf("step %d: iterator missed member %d", step, m)
+					}
+				}
+				if shift == 0 && candidates != len(ref) {
+					t.Fatalf("step %d: exact iterator yielded %d candidates for %d members", step, candidates, len(ref))
+				}
+				if shift != 0 && candidates > s.Regions()<<shift {
+					t.Fatalf("step %d: %d candidates exceed %d regions × %d", step, candidates, s.Regions(), 1<<shift)
+				}
+				truth := HostSet{}
+				for m := range ref {
+					truth.Add(m)
+				}
+				if !s.Describes(truth) {
+					t.Fatalf("step %d: %v does not describe its own holders %v", step, s, truth)
+				}
+				if len(ref) > 0 {
+					// Dropping one member must break the description: the
+					// population no longer matches.
+					for m := range ref {
+						if s.Describes(truth.Without(m)) {
+							t.Fatalf("step %d: %v describes holders minus member %d", step, s, m)
+						}
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// The exact representation must also reject extra holders outside the set,
+// and the summary representation must reject holders in absent regions.
+func TestSharerSetDescribesRejectsStrays(t *testing.T) {
+	s := SharerSetOf(0, 1, 3)
+	if s.Describes(HostSetOf(1, 3, 5)) {
+		t.Fatal("exact set described a superset")
+	}
+	if !s.Describes(HostSetOf(1, 3)) {
+		t.Fatal("exact set rejected its own holders")
+	}
+	sum := SharerSetOf(2, 0, 1) // hosts 0,1 → region 0 only
+	if sum.Describes(HostSetOf(0, 200)) {
+		t.Fatal("summary set described a holder in an absent region")
+	}
+	if !sum.Describes(HostSetOf(2, 3)) {
+		// Region granularity: any two holders inside region 0 match.
+		t.Fatal("summary set rejected holders inside its region")
+	}
+}
+
+// The ≤64-host fast path must stay allocation-free: directory updates and
+// invalidation rounds run it on every shared access (PR 4 guarantee).
+func TestSharerSetExactZeroAlloc(t *testing.T) {
+	s := NewSharerSet(0)
+	sink := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		s = s.With(3).With(17).With(63)
+		it := s.Iter(64)
+		for it.Next() {
+			sink += it.Host()
+		}
+		s = s.Without(17)
+		if s.Contains(17) || s.Empty() {
+			sink++
+		}
+		s = s.Without(3).Without(63)
+	})
+	if allocs != 0 {
+		t.Fatalf("exact fast path allocated %.1f times per run", allocs)
+	}
+	_ = sink
+}
+
+func TestHostSetBasics(t *testing.T) {
+	s := HostSetOf(0, 63, 64, 255)
+	if s.Count() != 4 || !s.Contains(64) || s.Contains(65) {
+		t.Fatalf("set = %v", s)
+	}
+	if s.String() != "{0,63,64,255}" {
+		t.Fatalf("String = %s", s.String())
+	}
+	if !s.Without(0).Without(63).Without(64).Only(255) {
+		t.Fatal("Only(255) after removals")
+	}
+	if d := s.Minus(HostSetOf(63, 255)); d != HostSetOf(0, 64) {
+		t.Fatalf("Minus = %v", d)
+	}
+	s.Del(255)
+	if s.Contains(255) || s.Count() != 3 {
+		t.Fatalf("after Del: %v", s)
+	}
+	var order []int
+	s.ForEach(func(h int) { order = append(order, h) })
+	if len(order) != 3 || order[0] != 0 || order[1] != 63 || order[2] != 64 {
+		t.Fatalf("ForEach order = %v", order)
+	}
+	if !HostSetOf().Empty() {
+		t.Fatal("empty set not Empty")
+	}
+}

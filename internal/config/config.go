@@ -84,11 +84,27 @@ type PIPMConfig struct {
 }
 
 // GlobalRemapEntryBytes and LocalRemapEntryBytes give the per-entry storage
-// the paper's §4.4 space-overhead analysis uses.
+// the paper's §4.4 space-overhead analysis uses, at the paper's 4-host
+// (5-bit host ID) scale. Cluster configurations widen the global entry; use
+// Config.GlobalRemapEntrySize for the per-config value.
 const (
 	GlobalRemapEntryBytes = 2 // 5b cur host + 5b cand host + 6b counter
 	LocalRemapEntryBytes  = 4 // 28b local PFN + 4b counter
 )
+
+// MaxHosts is the widest supported cluster: host IDs fit 8 bits in the
+// widened global remapping entry (DESIGN.md §16).
+const MaxHosts = 256
+
+// GlobalRemapEntrySize returns the bytes one global remapping entry costs
+// at this configuration's host width: the paper's packed 2-byte entry
+// (5b+5b+6b) up to 32 hosts, a 3-byte entry (8b+8b+6b+2b spare) beyond.
+func (c *Config) GlobalRemapEntrySize() int {
+	if c.Hosts <= 32 {
+		return GlobalRemapEntryBytes
+	}
+	return 3
+}
 
 // KernelMigrationConfig models the software costs of page-granularity,
 // kernel-based migration (Nomad, Memtis, HeMem, OS-skew).
@@ -193,8 +209,8 @@ func Default() Config {
 // Validate reports the first structural problem with the configuration.
 func (c *Config) Validate() error {
 	switch {
-	case c.Hosts < 1 || c.Hosts > 32:
-		return fmt.Errorf("config: Hosts = %d, want 1..32 (host IDs are 5 bits)", c.Hosts)
+	case c.Hosts < 1 || c.Hosts > MaxHosts:
+		return fmt.Errorf("config: Hosts = %d, want 1..%d (host IDs are 8 bits)", c.Hosts, MaxHosts)
 	case c.CoresPerHost < 1:
 		return fmt.Errorf("config: CoresPerHost = %d, want ≥ 1", c.CoresPerHost)
 	case c.CoreHz <= 0:
@@ -250,12 +266,13 @@ func (c *Config) SharedPages() int64 { return (c.SharedBytes + PageBytes - 1) / 
 func (c *Config) CoreClock() sim.Clock { return sim.NewClock(c.CoreHz) }
 
 // GlobalRemapCacheEntries converts the configured global remapping cache size
-// to entries (2 B each). Negative sizes mean infinite; zero disables.
+// to entries (GlobalRemapEntrySize each). Negative sizes mean infinite; zero
+// disables.
 func (c *Config) GlobalRemapCacheEntries() int {
 	if c.PIPM.GlobalRemapCacheBytes < 0 {
 		return -1
 	}
-	return c.PIPM.GlobalRemapCacheBytes / GlobalRemapEntryBytes
+	return c.PIPM.GlobalRemapCacheBytes / c.GlobalRemapEntrySize()
 }
 
 // LocalRemapCacheEntries converts the configured local remapping cache size

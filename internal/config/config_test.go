@@ -52,7 +52,7 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		mut  func(*Config)
 	}{
 		{"zero hosts", func(c *Config) { c.Hosts = 0 }},
-		{"too many hosts", func(c *Config) { c.Hosts = 33 }},
+		{"too many hosts", func(c *Config) { c.Hosts = MaxHosts + 1 }},
 		{"zero cores", func(c *Config) { c.CoresPerHost = 0 }},
 		{"zero width", func(c *Config) { c.Width = 0 }},
 		{"zero rob", func(c *Config) { c.ROB = 0 }},
@@ -72,6 +72,49 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted a broken config", m.name)
 		}
+	}
+}
+
+// TestValidateHostRange exercises the cluster host range, including both
+// representation boundaries: 32→33 widens the global remapping entry from
+// the paper's packed 2 bytes to 3, and 64→65 switches the directory sharer
+// set from the exact bitmask to the region-summary form (DESIGN.md §16).
+func TestValidateHostRange(t *testing.T) {
+	for _, hosts := range []int{1, 2, 4, 16, 32, 33, 64, 65, 128, 255, 256} {
+		c := Default()
+		c.Hosts = hosts
+		if err := c.Validate(); err != nil {
+			t.Errorf("Hosts=%d: Validate rejected a legal cluster: %v", hosts, err)
+		}
+	}
+	for _, hosts := range []int{-1, 0, 257, 1024} {
+		c := Default()
+		c.Hosts = hosts
+		if err := c.Validate(); err == nil {
+			t.Errorf("Hosts=%d: Validate accepted an out-of-range cluster", hosts)
+		}
+	}
+}
+
+func TestGlobalRemapEntrySizeBoundaries(t *testing.T) {
+	c := Default()
+	for _, tc := range []struct{ hosts, want int }{
+		{1, 2}, {32, 2}, {33, 3}, {64, 3}, {65, 3}, {256, 3},
+	} {
+		c.Hosts = tc.hosts
+		if got := c.GlobalRemapEntrySize(); got != tc.want {
+			t.Errorf("Hosts=%d: GlobalRemapEntrySize = %d, want %d", tc.hosts, got, tc.want)
+		}
+	}
+	// The paper-scale entry keeps the cache entry count — and with it every
+	// 4-host golden digest — unchanged.
+	c.Hosts = 4
+	if got := c.GlobalRemapCacheEntries(); got != (16<<10)/2 {
+		t.Errorf("4-host global cache entries = %d, want %d", got, (16<<10)/2)
+	}
+	c.Hosts = 256
+	if got := c.GlobalRemapCacheEntries(); got != (16<<10)/3 {
+		t.Errorf("256-host global cache entries = %d, want %d", got, (16<<10)/3)
 	}
 }
 

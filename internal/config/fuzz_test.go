@@ -10,10 +10,17 @@ func FuzzAddressMap(f *testing.F) {
 	f.Add(uint8(4), uint64(1<<30), uint64(16<<20), uint64(0))
 	f.Add(uint8(1), uint64(4096), uint64(4096), uint64(4095))
 	f.Add(uint8(32), uint64(1<<20), uint64(1<<32), uint64(1<<40))
+	// Representation boundaries: 32→33 hosts widens the global remapping
+	// entry, 64→65 switches sharer sets to the summary form, 256 is the cap.
+	f.Add(uint8(31), uint64(1<<30), uint64(16<<20), uint64(1<<20))
+	f.Add(uint8(32), uint64(1<<30), uint64(16<<20), uint64(1<<20))
+	f.Add(uint8(63), uint64(1<<30), uint64(16<<20), uint64(1<<20))
+	f.Add(uint8(64), uint64(1<<30), uint64(16<<20), uint64(1<<20))
+	f.Add(uint8(255), uint64(1<<33), uint64(1<<30), uint64(1<<45))
 
 	f.Fuzz(func(t *testing.T, hosts uint8, dram, shared, probe uint64) {
 		c := Default()
-		c.Hosts = 1 + int(hosts%32)
+		c.Hosts = 1 + int(hosts) // full 1..256 cluster range
 		c.LocalDRAM.CapacityBytes = int64(1+dram%(1<<40)) &^ (PageBytes - 1)
 		if c.LocalDRAM.CapacityBytes < PageBytes {
 			c.LocalDRAM.CapacityBytes = PageBytes

@@ -66,7 +66,7 @@ func (m *Manager) SetNoMigrate(page int64) (revokedLines, from int, err error) {
 	owner := int(e.CurHost)
 	removed, _ := m.local[owner].Remove(page)
 	m.lcache[owner].Invalidate(page)
-	e.CurHost = NoHost
+	m.global.SetOwner(page, NoHost)
 	m.stats.Revocations++
 	n := popcount(removed.Bitmap)
 	m.stats.LinesDemoted += uint64(n)
@@ -101,8 +101,8 @@ func (m *Manager) PinTo(page int64, host int) (revokedLines, from int, err error
 		from = owner
 	}
 	m.hints[page] = HintPinned
-	e.CurHost = int8(host)
-	e.CandHost = int8(host)
+	m.global.SetOwner(page, host)
+	e.CandHost = int16(host)
 	e.Counter = 0
 	m.local[host].Insert(page, LocalCounterMax)
 	m.stats.Promotions++

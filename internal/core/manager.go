@@ -64,7 +64,7 @@ type Params struct {
 
 // NewManager builds the PIPM state for a machine.
 func NewManager(p Params) *Manager {
-	if p.Hosts < 1 || p.Hosts > 32 {
+	if p.Hosts < 1 || p.Hosts > 256 {
 		panic(fmt.Sprintf("core: %d hosts out of range", p.Hosts))
 	}
 	if p.Threshold < 1 || p.Threshold > GlobalCounterMax {
@@ -74,7 +74,7 @@ func NewManager(p Params) *Manager {
 		threshold: uint8(p.Threshold),
 		hosts:     p.Hosts,
 		static:    p.Static,
-		global:    NewGlobalTable(p.SharedPages),
+		global:    NewGlobalTable(p.SharedPages, p.Hosts),
 		gcache:    NewRemapCache(p.GlobalCacheEntries, p.GlobalCacheWays),
 	}
 	for h := 0; h < p.Hosts; h++ {
@@ -84,7 +84,7 @@ func NewManager(p Params) *Manager {
 	if p.Static {
 		for page := int64(0); page < p.SharedPages; page++ {
 			h := int(page % int64(p.Hosts))
-			m.global.Entry(page).CurHost = int8(h)
+			m.global.SetOwner(page, h)
 			m.local[h].Insert(page, LocalCounterMax)
 		}
 	}
@@ -146,7 +146,7 @@ func (m *Manager) DeviceAccess(h int, page int64) Outcome {
 		if le.Counter == 0 {
 			removed, _ := m.local[owner].Remove(page)
 			m.lcache[owner].Invalidate(page)
-			e.CurHost = NoHost
+			m.global.SetOwner(page, NoHost)
 			e.CandHost = NoHost
 			e.Counter = 0
 			out.Owner = NoHost
@@ -168,7 +168,7 @@ func (m *Manager) DeviceAccess(h int, page int64) Outcome {
 	m.stats.VoteUpdates++
 	switch {
 	case e.Counter == 0:
-		e.CandHost = int8(h)
+		e.CandHost = int16(h)
 		e.Counter = 1
 	case int(e.CandHost) == h:
 		if e.Counter < GlobalCounterMax {
@@ -180,7 +180,7 @@ func (m *Manager) DeviceAccess(h int, page int64) Outcome {
 	if int(e.CandHost) == h && e.Counter >= m.threshold {
 		// Promote: create the local entry; decisions apply immediately
 		// (§5.1.4 — no kernel overhead, no whole-page transfer).
-		e.CurHost = int8(h)
+		m.global.SetOwner(page, h)
 		m.local[h].Insert(page, uint8(m.threshold))
 		out.Owner = h
 		out.Promoted = true
@@ -236,6 +236,15 @@ func (m *Manager) Owner(page int64) int {
 
 // MigratedPages returns the number of pages partially migrated to host h.
 func (m *Manager) MigratedPages(h int) int { return m.local[h].Count() }
+
+// OwnedPages returns the number of pages migrated to any host, from the
+// global table's O(1) per-slice occupancy counters (the auditor cross-checks
+// this against a full walk).
+func (m *Manager) OwnedPages() int { return m.global.OwnedPages() }
+
+// GlobalTableRef exposes the sharded global table for observability (slice
+// counts, per-slice occupancy, size accounting).
+func (m *Manager) GlobalTableRef() *GlobalTable { return m.global }
 
 // MigratedLines returns the number of lines currently migrated to host h.
 func (m *Manager) MigratedLines(h int) int { return m.local[h].MigratedLines() }

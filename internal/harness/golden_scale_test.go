@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"pipm/internal/migration"
+)
+
+// -update-golden-scale regenerates testdata/golden_scale.json — the
+// scalability tier of the bit-identity guard — from the current code. Like
+// -update-golden, regenerate only for an intended Result change, never to
+// make a refactor pass.
+var updateGoldenScale = flag.Bool("update-golden-scale", false,
+	"rewrite internal/harness/testdata/golden_scale.json from the current code")
+
+const goldenScalePath = "testdata/golden_scale.json"
+
+// goldenScaleFile pins the cluster-scale sweep: one digest per host count ×
+// scheme on the pr workload, at the exact (config, records, seed) the
+// ClusterScale experiment uses.
+type goldenScaleFile struct {
+	Schema         string             `json:"schema"`
+	Workload       string             `json:"workload"`
+	RecordsPerCore int64              `json:"records_per_core"`
+	Seed           int64              `json:"seed"`
+	Entries        []goldenScaleEntry `json:"entries"`
+}
+
+type goldenScaleEntry struct {
+	Hosts  int    `json:"hosts"`
+	Scheme string `json:"scheme"`
+	Key    string `json:"key"`
+	Digest string `json:"digest"`
+}
+
+// goldenScaleSweep executes the cluster-scale run set — ScaleForHosts
+// configs at 4/16/64/256 hosts, records scaled by ClusterScaleRecords —
+// without telemetry: telemetry is observation-only, so these Results are
+// bit-identical to the ones behind the ClusterScale tables.
+func goldenScaleSweep(t *testing.T) []goldenScaleEntry {
+	t.Helper()
+	o := QuickOptions()
+	wl := mustWorkload("pr")
+
+	type job struct {
+		idx   int
+		hosts int
+		k     migration.Kind
+	}
+	var jobs []job
+	for _, hosts := range ClusterScaleHosts() {
+		for _, k := range clusterScaleSchemes {
+			jobs = append(jobs, job{idx: len(jobs), hosts: hosts, k: k})
+		}
+	}
+	entries := make([]goldenScaleEntry, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := ScaleForHosts(o.Cfg, j.hosts)
+			records := ClusterScaleRecords(o.RecordsPerCore, o.Cfg.Hosts, j.hosts)
+			key := KeyOf(cfg, wl, j.k, records, o.Seed)
+			res, err := RunOne(cfg, wl, j.k, records, o.Seed)
+			if err != nil {
+				errs[j.idx] = fmt.Errorf("%dhosts/%v: %w", j.hosts, j.k, err)
+				return
+			}
+			entries[j.idx] = goldenScaleEntry{
+				Hosts:  j.hosts,
+				Scheme: j.k.String(),
+				Key:    key.String(),
+				Digest: DigestResult(res),
+			}
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return entries
+}
+
+// TestGoldenScalability is the bit-identity guard over the cluster-scale
+// path: every host count × scheme Result on pr must digest exactly as
+// recorded in testdata/golden_scale.json. The 4-host entries overlap the
+// regimes the quick sweep covers; 16 and 64 hosts pin the sharded directory
+// and the widest exact sharer bitmask; 256 hosts pins the summary sharer
+// representation, 3-byte global remap entries and sparse hotness rows —
+// none of which any 4-host run can reach.
+func TestGoldenScalability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster-scale sweep is too slow for -short")
+	}
+	o := QuickOptions()
+	got := goldenScaleSweep(t)
+
+	if *updateGoldenScale {
+		gf := goldenScaleFile{
+			Schema:         "pipm-golden-scale/v1",
+			Workload:       "pr",
+			RecordsPerCore: o.RecordsPerCore,
+			Seed:           o.Seed,
+			Entries:        got,
+		}
+		buf, err := json.MarshalIndent(gf, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenScalePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenScalePath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), goldenScalePath)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenScalePath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden-scale): %v", err)
+	}
+	var want goldenScaleFile
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenScalePath, err)
+	}
+	if want.Schema != "pipm-golden-scale/v1" {
+		t.Fatalf("golden schema = %q, want pipm-golden-scale/v1", want.Schema)
+	}
+	if want.RecordsPerCore != o.RecordsPerCore || want.Seed != o.Seed || want.Workload != "pr" {
+		t.Fatalf("golden sweep shape (wl=%s records=%d seed=%d) != ClusterScale shape (wl=pr records=%d seed=%d); regenerate with -update-golden-scale",
+			want.Workload, want.RecordsPerCore, want.Seed, o.RecordsPerCore, o.Seed)
+	}
+
+	wantByKey := make(map[string]goldenScaleEntry, len(want.Entries))
+	for _, e := range want.Entries {
+		wantByKey[e.Key] = e
+	}
+	var mismatches []string
+	for _, e := range got {
+		w, ok := wantByKey[e.Key]
+		if !ok {
+			mismatches = append(mismatches,
+				fmt.Sprintf("%dhosts/%s: run key %s not in golden file (scaled config changed; regenerate with -update-golden-scale)",
+					e.Hosts, e.Scheme, e.Key[:12]))
+			continue
+		}
+		if w.Digest != e.Digest {
+			mismatches = append(mismatches,
+				fmt.Sprintf("%dhosts/%s: Result digest %s… != golden %s… (cluster-scale path no longer bit-identical)",
+					e.Hosts, e.Scheme, e.Digest[:12], w.Digest[:12]))
+		}
+		delete(wantByKey, e.Key)
+	}
+	for _, w := range wantByKey {
+		mismatches = append(mismatches,
+			fmt.Sprintf("golden entry %dhosts/%s has no matching run", w.Hosts, w.Scheme))
+	}
+	for _, m := range mismatches {
+		t.Error(m)
+	}
+	if len(got) != len(want.Entries) {
+		t.Errorf("ran %d host×scheme pairs, golden file has %d", len(got), len(want.Entries))
+	}
+}

@@ -2,7 +2,6 @@ package machine
 
 import (
 	"fmt"
-	"math/bits"
 
 	"pipm/internal/audit"
 	"pipm/internal/cache"
@@ -134,6 +133,7 @@ func (m *Machine) auditLine(line config.Addr) {
 	now := m.eng.Now()
 	exclusiveAt, sharers := -1, 0
 	var exclusiveState cache.State
+	var holders, sharedHolders coherence.HostSet
 	for _, hs := range m.hosts {
 		st, ok := hs.llc.Peek(line)
 		if !ok {
@@ -146,6 +146,7 @@ func (m *Machine) auditLine(line config.Addr) {
 			}
 			continue
 		}
+		holders.Add(hs.id)
 		switch st {
 		case cache.Modified, cache.Exclusive, cache.MigratedExclusive:
 			if exclusiveAt >= 0 {
@@ -156,6 +157,7 @@ func (m *Machine) auditLine(line config.Addr) {
 			exclusiveState = st
 		case cache.Shared:
 			sharers++
+			sharedHolders.Add(hs.id)
 		}
 	}
 	if exclusiveAt >= 0 && sharers > 0 {
@@ -193,12 +195,21 @@ func (m *Machine) auditLine(line config.Addr) {
 					"line %#x M-owned by host %d which holds %v/%v", uint64(line), e.Owner, st, held)
 			}
 		case coherence.DirShared:
-			for sh := e.Sharers; sh != 0; sh &= sh - 1 {
-				g := bits.TrailingZeros32(sh)
-				if _, held := m.hosts[g].llc.Peek(line); !held {
-					m.aud.Failf(now, m.trc, audit.InvDirPrecision,
-						"line %#x lists sharer %d which holds nothing", uint64(line), g)
+			if e.Sharers.Exact() {
+				it := e.Sharers.Iter(len(m.hosts))
+				for it.Next() {
+					if !holders.Contains(it.Host()) {
+						m.aud.Failf(now, m.trc, audit.InvDirPrecision,
+							"line %#x lists sharer %d which holds nothing", uint64(line), it.Host())
+					}
 				}
+			} else if !e.Sharers.Describes(sharedHolders) {
+				// Summary sets can't name individual sharers; the invariant is
+				// that the count is exact and every holder falls in a present
+				// region.
+				m.aud.Failf(now, m.trc, audit.InvDirPrecision,
+					"line %#x sharer summary %v does not describe holders %v",
+					uint64(line), e.Sharers, sharedHolders)
 			}
 		}
 	}

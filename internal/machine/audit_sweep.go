@@ -25,11 +25,11 @@ import (
 // lineAgg accumulates one shared line's cross-host state during a sweep.
 type lineAgg struct {
 	stamp     uint32
-	holders   uint32 // hosts with a valid LLC copy
-	shared    uint32 // hosts holding Shared
-	l1        uint32 // hosts with any L1 copy
+	holders   coherence.HostSet // hosts with a valid LLC copy
+	shared    coherence.HostSet // hosts holding Shared
+	l1        coherence.HostSet // hosts with any L1 copy
 	exclCount uint8
-	exclHost  int8
+	exclHost  int16
 	exclState cache.State
 	hasDir    bool
 	dir       coherence.Entry
@@ -48,6 +48,9 @@ type auditScratch struct {
 	pageEpoch uint32
 	// Pre-built remap-cache names so sweeps don't format strings.
 	lcNames []string
+	// Host-sized residency recount scratch (the host cap is 256 now, so a
+	// fixed [32] array no longer covers every cluster).
+	walkPages, walkLines []int64
 }
 
 func (a *auditScratch) init(m *Machine) {
@@ -59,6 +62,8 @@ func (a *auditScratch) init(m *Machine) {
 	for h := 0; h < m.cfg.Hosts; h++ {
 		a.lcNames = append(a.lcNames, fmt.Sprintf("h%d.local-remap-cache", h))
 	}
+	a.walkPages = make([]int64, m.cfg.Hosts)
+	a.walkLines = make([]int64, m.cfg.Hosts)
 }
 
 // aggFor returns the scratch cell for a line address, lazily resetting it on
@@ -94,16 +99,15 @@ func (m *Machine) auditSweep(full bool) {
 
 	// Pass 1: aggregate cached copies and directory entries per line.
 	for _, hs := range m.hosts {
-		hbit := uint32(1) << uint(hs.id)
-		hid := int8(hs.id)
+		hid := int16(hs.id)
 		hs.llc.ForEach(func(line config.Addr, st cache.State) {
 			g := m.aggFor(line)
 			if g == nil {
 				return
 			}
-			g.holders |= hbit
+			g.holders.Add(hs.id)
 			if st == cache.Shared {
-				g.shared |= hbit
+				g.shared.Add(hs.id)
 			} else {
 				g.exclCount++
 				g.exclHost = hid
@@ -113,7 +117,7 @@ func (m *Machine) auditSweep(full bool) {
 		for _, c := range hs.cores {
 			c.l1.ForEach(func(line config.Addr, _ cache.State) {
 				if g := m.aggFor(line); g != nil {
-					g.l1 |= hbit
+					g.l1.Add(hs.id)
 				}
 			})
 		}
@@ -154,7 +158,7 @@ func (m *Machine) auditSweep(full bool) {
 			Line:        a.baseLine + config.Addr(idx),
 			HolderMask:  g.holders,
 			SharedMask:  g.shared,
-			L1StrayMask: g.l1 &^ g.holders,
+			L1StrayMask: g.l1.Minus(g.holders),
 			ExclCount:   int(g.exclCount),
 			ExclHost:    int(g.exclHost),
 			ExclState:   g.exclState,
@@ -191,7 +195,10 @@ func (m *Machine) auditSweep(full bool) {
 func (m *Machine) auditHardwareTables(now sim.Time, full bool) {
 	pages := m.cfg.SharedPages()
 	hosts := m.cfg.Hosts
-	var walkPages, walkLines [32]int64
+	walkPages, walkLines := m.audScratch.walkPages, m.audScratch.walkLines
+	for h := range walkPages {
+		walkPages[h], walkLines[h] = 0, 0
+	}
 	var pf audit.PageFacts
 	for page := int64(0); page < pages; page++ {
 		ge := m.mgr.GlobalEntryAt(page)
@@ -212,7 +219,7 @@ func (m *Machine) auditHardwareTables(now sim.Time, full bool) {
 				pf.HasLocal = true
 				pf.LocalCnt = le.Counter
 			} else {
-				pf.OtherLocalMask |= 1 << uint(h)
+				pf.OtherLocalMask.Add(h)
 			}
 			walkPages[h]++
 			walkLines[h] += int64(bits.OnesCount64(le.Bitmap))
@@ -229,6 +236,19 @@ func (m *Machine) auditHardwareTables(now sim.Time, full bool) {
 		totPages += walkPages[h]
 		totLines += walkLines[h]
 	}
+	// The global table's per-slice occupancy counters (kept O(1) by
+	// SetOwner) must agree with both a full entry walk and the owner-side
+	// local-table recount — the sharded layout may not lose pages.
+	gt := m.mgr.GlobalTableRef()
+	var ownedSlices int64
+	for s := 0; s < gt.Slices(); s++ {
+		ownedSlices += int64(gt.SliceOwned(s))
+	}
+	m.aud.CheckAccounting(now, m.trc, &audit.AccountingFacts{
+		Host: -1, What: "globally-owned pages (slice counters)", Gauge: ownedSlices, Walk: totPages})
+	m.aud.CheckAccounting(now, m.trc, &audit.AccountingFacts{
+		Host: -1, What: "globally-owned pages (OwnedPages)", Gauge: int64(gt.OwnedPages()), Walk: totPages})
+
 	ms := m.mgr.Stats()
 	var initial int64
 	if m.mgr.Static() {
@@ -281,7 +301,10 @@ func (m *Machine) auditRemapCache(now sim.Time, name string, rc *pipmcore.RemapC
 // footprint gauges read.
 func (m *Machine) auditKernelTable(now sim.Time) {
 	pages := m.cfg.SharedPages()
-	var walk [32]int64
+	walk := m.audScratch.walkPages
+	for h := range walk {
+		walk[h] = 0
+	}
 	for page := int64(0); page < pages; page++ {
 		if o := m.pt.Owner(page); o != migration.ToCXL {
 			walk[o]++

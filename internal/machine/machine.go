@@ -69,6 +69,13 @@ type Machine struct {
 	asyncKernelTransfer bool
 	hintsOK             bool
 
+	// Host-scaling geometry, resolved once from cfg.Hosts (DESIGN.md §16):
+	// shShift selects the directory sharer-set representation (0 = exact
+	// bitmask, >0 = region summary) and gEntryBytes is the hardware size of
+	// one global remapping entry for metadata-address pricing.
+	shShift     uint8
+	gEntryBytes config.Addr
+
 	// Pre-bound tick closures: scheduling a method value through eng.At
 	// allocates a fresh closure per call; binding once keeps the periodic
 	// re-arms allocation-free.
@@ -156,6 +163,9 @@ func New(cfg config.Config, scheme migration.Kind) (*Machine, error) {
 		llcLat:  cfg.LLC.Latency,
 		quantum: 100 * sim.Nanosecond,
 		width:   int64(cfg.Width),
+
+		shShift:     coherence.SharerShiftFor(cfg.Hosts),
+		gEntryBytes: config.Addr(cfg.GlobalRemapEntrySize()),
 	}
 	llcCfg := cfg.LLC
 	llcCfg.SizeBytes *= cfg.CoresPerHost // Table 2: 2MB per core, shared

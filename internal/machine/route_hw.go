@@ -165,13 +165,13 @@ func (m *Machine) forwardedFetch(t sim.Time, c *coreState, rec trace.Record, pag
 	m.cxlMem.Access(t, rec.Addr, true) // async in-memory update
 
 	if rec.Write {
-		m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
+		m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int16(h.id)})
 		m.fillLLC(c, line, cache.Modified)
 		m.fillL1(c, line, cache.Modified)
 	} else {
-		sharers := uint32(1) << uint(h.id)
+		sharers := coherence.NewSharerSet(m.shShift).With(h.id)
 		if _, cached := owner.llc.Peek(line); cached {
-			sharers |= 1 << uint(g)
+			sharers = sharers.With(g)
 		}
 		m.installDirEntry(line, coherence.Entry{State: coherence.DirShared, Sharers: sharers})
 		m.fillLLC(c, line, cache.Shared)
@@ -234,8 +234,10 @@ func (m *Machine) remapTableAddr(h int, page int64) config.Addr {
 }
 
 // remapGlobalAddr locates a page's global remapping entry in CXL memory.
+// The entry stride follows the host count: the paper's packed 2 bytes up to
+// 32 hosts, 3 bytes beyond (config.GlobalRemapEntrySize).
 func (m *Machine) remapGlobalAddr(page int64) config.Addr {
-	return m.amap.SharedAddr(config.Addr(page*2) % m.amap.SharedBytes())
+	return m.amap.SharedAddr(config.Addr(page) * m.gEntryBytes % m.amap.SharedBytes())
 }
 
 // cxlAccessTime prices a single metadata access to CXL DRAM from the

@@ -1,8 +1,6 @@
 package machine
 
 import (
-	"math/bits"
-
 	"pipm/internal/cache"
 	"pipm/internal/coherence"
 	"pipm/internal/config"
@@ -211,11 +209,11 @@ func (m *Machine) cxlServe(t sim.Time, c *coreState, rec trace.Record) (sim.Time
 		}
 		if rec.Write {
 			m.invalidateLineEverywhere(m.hosts[g], line)
-			m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
+			m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int16(h.id)})
 			fillSt = cache.Modified
 		} else {
 			m.downgradeLineAt(m.hosts[g], line)
-			sharers := uint32(1)<<uint(g) | uint32(1)<<uint(h.id)
+			sharers := coherence.NewSharerSet(m.shShift).With(g).With(h.id)
 			m.installDirEntry(line, coherence.Entry{State: coherence.DirShared, Sharers: sharers})
 			fillSt = cache.Shared
 		}
@@ -224,24 +222,13 @@ func (m *Machine) cxlServe(t sim.Time, c *coreState, rec trace.Record) (sim.Time
 		if rec.Write {
 			// Invalidate every other sharer before granting ownership; the
 			// invalidation round-trips overlap, so charge the slowest.
-			// (Explicit bit iteration: a ForEachSharer closure would
-			// capture locals and allocate on the hot path.)
-			var inv sim.Time
-			for sh := e.Sharers; sh != 0; sh &= sh - 1 {
-				g := bits.TrailingZeros32(sh)
-				if g == h.id {
-					continue
-				}
-				ack := (m.fabric.DeviceToHost(t, g, 0) - t) + (m.fabric.HostToDevice(t, g, 0) - t)
-				inv = sim.Max(inv, ack)
-				m.invalidateLineEverywhere(m.hosts[g], line)
-			}
+			inv := m.invalidateSharersRound(t, e.Sharers, h.id, line)
 			dataLat = inv + (m.cxlMem.Access(t, rec.Addr, false) - t)
-			m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
+			m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int16(h.id)})
 			fillSt = cache.Modified
 		} else {
 			dataLat = m.cxlMem.Access(t, rec.Addr, false) - t
-			m.installDirEntry(line, coherence.Entry{State: coherence.DirShared, Sharers: e.Sharers | 1<<uint(h.id)})
+			m.installDirEntry(line, coherence.Entry{State: coherence.DirShared, Sharers: e.Sharers.With(h.id)})
 			fillSt = cache.Shared
 		}
 		if m.vals != nil {
@@ -257,7 +244,7 @@ func (m *Machine) cxlServe(t sim.Time, c *coreState, rec trace.Record) (sim.Time
 		} else {
 			fillSt = cache.Exclusive
 		}
-		m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
+		m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int16(h.id)})
 		if m.vals != nil {
 			m.vals.serve(c, line, rec.Write, srcCXL, 0)
 		}
@@ -293,20 +280,10 @@ func (m *Machine) writeUpgrade(t sim.Time, c *coreState, rec trace.Record) (sim.
 
 	lat := (m.fabric.HostToDevice(t, h.id, 0) - t) + (m.fabric.DirLookup(t, line) - t)
 	if e, ok := m.devDir.Lookup(line); ok && e.State == coherence.DirShared {
-		var inv sim.Time
-		for sh := e.Sharers; sh != 0; sh &= sh - 1 {
-			g := bits.TrailingZeros32(sh)
-			if g == h.id {
-				continue
-			}
-			ack := (m.fabric.DeviceToHost(t, g, 0) - t) + (m.fabric.HostToDevice(t, g, 0) - t)
-			inv = sim.Max(inv, ack)
-			m.invalidateLineEverywhere(m.hosts[g], line)
-		}
-		lat += inv
+		lat += m.invalidateSharersRound(t, e.Sharers, h.id, line)
 	}
 	done := t + lat + (m.fabric.DeviceToHost(t, h.id, 0) - t)
-	m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int8(h.id)})
+	m.installDirEntry(line, coherence.Entry{State: coherence.DirModified, Owner: int16(h.id)})
 	h.llc.Fill(line, cache.Modified)
 	c.l1.Fill(line, cache.Modified)
 	m.invalidateOtherL1s(h, c, line)
@@ -426,10 +403,49 @@ func (m *Machine) installDirEntry(line config.Addr, e coherence.Entry) {
 		t := m.fabric.HostToDeviceBG(now, g, cxlDataBytes)
 		m.cxlMem.Access(t, bi.Line<<config.LineShift, true)
 	case coherence.DirShared:
-		for sh := bi.Entry.Sharers; sh != 0; sh &= sh - 1 {
-			m.invalidateLineEverywhere(m.hosts[bits.TrailingZeros32(sh)], bi.Line)
+		it := bi.Entry.Sharers.Iter(m.cfg.Hosts)
+		for it.Next() {
+			m.invalidateLineEverywhere(m.hosts[it.Host()], bi.Line)
 		}
 	}
+}
+
+// invalidateSharersRound invalidates line at every sharer except self,
+// returning the slowest invalidation ack round-trip. One shootdown message
+// goes to each sharer in the exact regime (≤ 64 hosts — identical pricing
+// and fabric-call order to the historical per-sharer loop); in the summary
+// regime the sharer set only knows presence regions, so one batched
+// multicast message per region prices the round trip and every host of the
+// region drops its copies — over-invalidation is the documented cost of
+// coarse tracking. Message and target counts land on line's directory
+// slice. (The iterator is a stack value: a ForEachSharer closure would
+// capture locals and allocate on the hot path.)
+func (m *Machine) invalidateSharersRound(t sim.Time, set coherence.SharerSet, self int, line config.Addr) sim.Time {
+	var inv sim.Time
+	shift := set.Shift()
+	batches, targets := 0, 0
+	region := -1
+	it := set.Iter(m.cfg.Hosts)
+	for it.Next() {
+		g := it.Host()
+		if g == self {
+			continue
+		}
+		if r := g >> shift; r != region {
+			// First host of a new batch carries the message round-trip; in
+			// exact mode every host is its own region, so this is per-sharer.
+			region = r
+			ack := (m.fabric.DeviceToHost(t, g, 0) - t) + (m.fabric.HostToDevice(t, g, 0) - t)
+			inv = sim.Max(inv, ack)
+			batches++
+		}
+		m.invalidateLineEverywhere(m.hosts[g], line)
+		targets++
+	}
+	if targets > 0 {
+		m.devDir.NoteShootdown(line, batches, targets)
+	}
+	return inv
 }
 
 // invalidateLineEverywhere drops a line from a host's LLC and every L1.

@@ -1,29 +1,93 @@
 package migration
 
-// pageCounts is dense per-page, per-host access counting shared by the
-// kernel policies. Counters saturate rather than wrap.
+// pageCounts is per-page, per-host access counting shared by the kernel
+// policies. Counters saturate rather than wrap. Up to denseHostCap hosts it
+// is a dense pages×hosts array — the layout every 4-host golden run has
+// always used; beyond that a dense array would be O(pages×256) of mostly
+// untouched zeroes, so each page keeps a short host-ascending list of the
+// hosts that actually touched it. Both representations agree observably:
+// top() resolves ties to the lowest host index either way (untouched hosts
+// count zero, so an ascending strict-maximum scan over recorded hosts sees
+// the same winner the dense scan over all hosts does).
 type pageCounts struct {
 	hosts  int
-	counts []uint32 // page*hosts + host
+	counts []uint32      // dense: page*hosts + host (hosts ≤ denseHostCap)
+	sparse [][]hostCount // per page, ascending host (hosts > denseHostCap)
+}
+
+// denseHostCap is the largest cluster that keeps the dense layout.
+const denseHostCap = 64
+
+type hostCount struct {
+	host  uint16
+	count uint32
 }
 
 func newPageCounts(pages int64, hosts int) *pageCounts {
-	return &pageCounts{hosts: hosts, counts: make([]uint32, pages*int64(hosts))}
+	pc := &pageCounts{hosts: hosts}
+	if hosts <= denseHostCap {
+		pc.counts = make([]uint32, pages*int64(hosts))
+	} else {
+		pc.sparse = make([][]hostCount, pages)
+	}
+	return pc
 }
 
 func (pc *pageCounts) record(host int, page int64) {
-	i := page*int64(pc.hosts) + int64(host)
-	if pc.counts[i] != ^uint32(0) {
-		pc.counts[i]++
+	if pc.counts != nil {
+		i := page*int64(pc.hosts) + int64(host)
+		if pc.counts[i] != ^uint32(0) {
+			pc.counts[i]++
+		}
+		return
 	}
+	row := pc.sparse[page]
+	for i := range row {
+		switch {
+		case int(row[i].host) == host:
+			if row[i].count != ^uint32(0) {
+				row[i].count++
+			}
+			return
+		case int(row[i].host) > host:
+			row = append(row, hostCount{})
+			copy(row[i+1:], row[i:])
+			row[i] = hostCount{host: uint16(host), count: 1}
+			pc.sparse[page] = row
+			return
+		}
+	}
+	pc.sparse[page] = append(row, hostCount{host: uint16(host), count: 1})
+}
+
+// count returns host's access count for page.
+func (pc *pageCounts) count(page int64, host int) uint32 {
+	if pc.counts != nil {
+		return pc.counts[page*int64(pc.hosts)+int64(host)]
+	}
+	for _, e := range pc.sparse[page] {
+		if int(e.host) == host {
+			return e.count
+		}
+		if int(e.host) > host {
+			break
+		}
+	}
+	return 0
 }
 
 // total returns the sum of all hosts' counts for page.
 func (pc *pageCounts) total(page int64) uint64 {
-	base := page * int64(pc.hosts)
 	var t uint64
-	for h := 0; h < pc.hosts; h++ {
-		t += uint64(pc.counts[base+int64(h)])
+	if pc.counts != nil {
+		base := page * int64(pc.hosts)
+		for h := 0; h < pc.hosts; h++ {
+			t += uint64(pc.counts[base+int64(h)])
+		}
+		return t
+	}
+	for _, e := range pc.sparse[page] {
+		t += uint64(e.count)
 	}
 	return t
 }
@@ -31,13 +95,25 @@ func (pc *pageCounts) total(page int64) uint64 {
 // top returns the host with the highest count for page and that count.
 // Ties resolve to the lowest host index, deterministically.
 func (pc *pageCounts) top(page int64) (host int, count uint32) {
-	base := page * int64(pc.hosts)
-	host = 0
-	count = pc.counts[base]
-	for h := 1; h < pc.hosts; h++ {
-		if c := pc.counts[base+int64(h)]; c > count {
-			host, count = h, c
+	if pc.counts != nil {
+		base := page * int64(pc.hosts)
+		host = 0
+		count = pc.counts[base]
+		for h := 1; h < pc.hosts; h++ {
+			if c := pc.counts[base+int64(h)]; c > count {
+				host, count = h, c
+			}
 		}
+		return host, count
+	}
+	for _, e := range pc.sparse[page] {
+		if e.count > count {
+			host, count = int(e.host), e.count
+		}
+	}
+	if count == 0 {
+		// All-zero pages report host 0, exactly like the dense scan.
+		return 0, 0
 	}
 	return host, count
 }
@@ -50,18 +126,42 @@ func (pc *pageCounts) lead(page int64) (host int, margin int64) {
 	return h, int64(c) - others
 }
 
-// halve decays every counter by half (cooling).
+// halve decays every counter by half (cooling). Sparse rows drop entries
+// that decay to zero, keeping them short under churn.
 func (pc *pageCounts) halve() {
-	for i := range pc.counts {
-		pc.counts[i] >>= 1
+	if pc.counts != nil {
+		for i := range pc.counts {
+			pc.counts[i] >>= 1
+		}
+		return
+	}
+	for p, row := range pc.sparse {
+		out := row[:0]
+		for _, e := range row {
+			if e.count >>= 1; e.count != 0 {
+				out = append(out, e)
+			}
+		}
+		pc.sparse[p] = out
 	}
 }
 
 // clear zeroes every counter.
 func (pc *pageCounts) clear() {
-	for i := range pc.counts {
-		pc.counts[i] = 0
+	if pc.counts != nil {
+		for i := range pc.counts {
+			pc.counts[i] = 0
+		}
+		return
+	}
+	for p := range pc.sparse {
+		pc.sparse[p] = pc.sparse[p][:0]
 	}
 }
 
-func (pc *pageCounts) pages() int64 { return int64(len(pc.counts)) / int64(pc.hosts) }
+func (pc *pageCounts) pages() int64 {
+	if pc.counts != nil {
+		return int64(len(pc.counts)) / int64(pc.hosts)
+	}
+	return int64(len(pc.sparse))
+}

@@ -1,0 +1,106 @@
+package migration
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property: the sparse per-page representation (hosts > denseHostCap) and a
+// dense shadow agree on every observable — count, total, top (including its
+// lowest-host tie-break), lead — under random record/halve/clear sequences.
+func TestPageCountsSparseMatchesDense(t *testing.T) {
+	const pages, hosts = 37, 256
+	sp := newPageCounts(pages, hosts)
+	if sp.counts != nil {
+		t.Fatalf("%d hosts should use the sparse representation", hosts)
+	}
+	// The dense shadow bypasses newPageCounts' host-cap switch.
+	dn := &pageCounts{hosts: hosts, counts: make([]uint32, pages*int64(hosts))}
+
+	rng := rand.New(rand.NewSource(42))
+	check := func(step int) {
+		for page := int64(0); page < pages; page++ {
+			if got, want := sp.total(page), dn.total(page); got != want {
+				t.Fatalf("step %d page %d: total %d != dense %d", step, page, got, want)
+			}
+			sh, sc := sp.top(page)
+			dh, dc := dn.top(page)
+			if sh != dh || sc != dc {
+				t.Fatalf("step %d page %d: top (%d,%d) != dense (%d,%d)", step, page, sh, sc, dh, dc)
+			}
+			sh, sm := sp.lead(page)
+			dh, dm := dn.lead(page)
+			if sh != dh || sm != dm {
+				t.Fatalf("step %d page %d: lead (%d,%d) != dense (%d,%d)", step, page, sh, sm, dh, dm)
+			}
+			for _, h := range []int{0, 1, 63, 64, 200, hosts - 1, rng.Intn(hosts)} {
+				if got, want := sp.count(page, h), dn.count(page, h); got != want {
+					t.Fatalf("step %d page %d host %d: count %d != dense %d", step, page, h, got, want)
+				}
+			}
+		}
+		if sp.pages() != dn.pages() {
+			t.Fatalf("step %d: pages %d != dense %d", step, sp.pages(), dn.pages())
+		}
+	}
+
+	for step := 0; step < 40; step++ {
+		for i := 0; i < 300; i++ {
+			// Zipf-ish skew so ties and repeated hosts actually happen.
+			h := rng.Intn(hosts)
+			if rng.Intn(2) == 0 {
+				h = rng.Intn(4)
+			}
+			p := int64(rng.Intn(pages))
+			sp.record(h, p)
+			dn.record(h, p)
+		}
+		check(step)
+		switch step % 5 {
+		case 3:
+			sp.halve()
+			dn.halve()
+			check(step)
+		case 4:
+			if step%10 == 9 {
+				sp.clear()
+				dn.clear()
+				check(step)
+			}
+		}
+	}
+}
+
+// Sparse rows must stay host-ascending (record inserts in place) and drop
+// zero entries on halve — the invariants count/top rely on.
+func TestPageCountsSparseRowInvariants(t *testing.T) {
+	pc := newPageCounts(4, 128)
+	for _, h := range []int{100, 3, 77, 0, 127, 50, 3} {
+		pc.record(h, 2)
+	}
+	row := pc.sparse[2]
+	for i := 1; i < len(row); i++ {
+		if row[i-1].host >= row[i].host {
+			t.Fatalf("row not strictly ascending: %v", row)
+		}
+	}
+	if pc.count(2, 3) != 2 || pc.count(2, 50) != 1 || pc.count(2, 51) != 0 {
+		t.Fatalf("counts wrong: %v", row)
+	}
+	pc.halve() // every count-1 entry decays to zero and must vanish
+	if len(pc.sparse[2]) != 1 || pc.sparse[2][0] != (hostCount{host: 3, count: 1}) {
+		t.Fatalf("halve kept zero entries: %v", pc.sparse[2])
+	}
+}
+
+// Saturation must hold in the sparse representation too.
+func TestPageCountsSparseSaturation(t *testing.T) {
+	pc := newPageCounts(1, 65)
+	pc.sparse[0] = []hostCount{{host: 7, count: ^uint32(0) - 1}}
+	pc.record(7, 0)
+	pc.record(7, 0)
+	pc.record(7, 0)
+	if got := pc.count(0, 7); got != ^uint32(0) {
+		t.Fatalf("count = %d, want saturated", got)
+	}
+}

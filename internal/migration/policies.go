@@ -163,12 +163,12 @@ func (p *MemtisPolicy) Tick(pt *PageTable, budgetPerHost int) []Op {
 	return ops
 }
 
-// ownerCount returns owner's access count for page.
+// ownerCount returns owner's access count for page (0 for ToCXL).
 func ownerCount(pc *pageCounts, page int64, owner int) int64 {
 	if owner < 0 {
 		return 0
 	}
-	return int64(pc.counts[page*int64(pc.hosts)+int64(owner)])
+	return int64(pc.count(page, owner))
 }
 
 func log2u64(x uint64) int {

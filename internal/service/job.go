@@ -247,21 +247,33 @@ var ErrDraining = errors.New("service: draining, not accepting new sweeps")
 type Manager struct {
 	runner  *harness.Runner
 	active  chan struct{}
+	maxJobs int
 	metrics *Metrics
 
 	wg sync.WaitGroup
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
-	order    []string // submission order, for the jobs index
+	order    []string          // submission order, for the jobs index
+	touch    map[string]uint64 // last-access stamps, for terminal-job eviction
+	touchSeq uint64
 	draining bool
 }
 
 // NewManager builds a manager executing at most maxActive jobs at a time
-// (≤ 0 means 2) on the given runner.
-func NewManager(runner *harness.Runner, maxActive int, metrics *Metrics) *Manager {
+// (≤ 0 means 2) on the given runner. maxJobs bounds the job table: once the
+// table exceeds it, the least-recently-accessed terminal jobs are evicted
+// (≤ 0 means 1024; live jobs are never evicted, so a burst of running
+// sweeps may briefly exceed the cap). Evicted jobs drop their status and
+// event log, but their run artefacts stay addressable — every result lives
+// in the runner's memo and store under its run key, served by /v1/runs/{key}
+// independently of the job table.
+func NewManager(runner *harness.Runner, maxActive, maxJobs int, metrics *Metrics) *Manager {
 	if maxActive <= 0 {
 		maxActive = 2
+	}
+	if maxJobs <= 0 {
+		maxJobs = 1024
 	}
 	if metrics == nil {
 		metrics = &Metrics{}
@@ -269,8 +281,10 @@ func NewManager(runner *harness.Runner, maxActive int, metrics *Metrics) *Manage
 	return &Manager{
 		runner:  runner,
 		active:  make(chan struct{}, maxActive),
+		maxJobs: maxJobs,
 		metrics: metrics,
 		jobs:    map[string]*Job{},
+		touch:   map[string]uint64{},
 	}
 }
 
@@ -284,6 +298,7 @@ func (m *Manager) Runner() *harness.Runner { return m.runner }
 func (m *Manager) Submit(spec SweepSpec, id string, runs []SweepRun) (j *Job, created bool, err error) {
 	m.mu.Lock()
 	if existing, ok := m.jobs[id]; ok {
+		m.touchLocked(id)
 		m.mu.Unlock()
 		m.metrics.JobsDeduped.Add(1)
 		return existing, false, nil
@@ -309,6 +324,8 @@ func (m *Manager) Submit(spec SweepSpec, id string, runs []SweepRun) (j *Job, cr
 	}
 	m.jobs[id] = j
 	m.order = append(m.order, id)
+	m.touchLocked(id)
+	m.evictLocked()
 	m.wg.Add(1)
 	m.mu.Unlock()
 
@@ -317,12 +334,57 @@ func (m *Manager) Submit(spec SweepSpec, id string, runs []SweepRun) (j *Job, cr
 	return j, true, nil
 }
 
-// Get returns the job with the given ID.
+// Get returns the job with the given ID, marking it recently used.
 func (m *Manager) Get(id string) (*Job, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
+	if ok {
+		m.touchLocked(id)
+	}
 	return j, ok
+}
+
+// touchLocked stamps one job as the most recently accessed. A counter, not
+// a clock: stamps must be unique so eviction order is total. Callers hold
+// m.mu.
+func (m *Manager) touchLocked(id string) {
+	m.touchSeq++
+	m.touch[id] = m.touchSeq
+}
+
+// evictLocked drops least-recently-accessed terminal jobs until the table
+// fits maxJobs. Live jobs are skipped — a table full of running sweeps
+// simply stays over the cap until some finish. Callers hold m.mu; taking
+// j.mu under m.mu follows the manager→job lock order used everywhere.
+func (m *Manager) evictLocked() {
+	for len(m.jobs) > m.maxJobs {
+		victim := ""
+		var oldest uint64
+		for id, j := range m.jobs {
+			j.mu.Lock()
+			terminal := j.state.Terminal()
+			j.mu.Unlock()
+			if !terminal {
+				continue
+			}
+			if victim == "" || m.touch[id] < oldest {
+				victim, oldest = id, m.touch[id]
+			}
+		}
+		if victim == "" {
+			return
+		}
+		delete(m.jobs, victim)
+		delete(m.touch, victim)
+		for i, id := range m.order {
+			if id == victim {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		m.metrics.JobsEvicted.Add(1)
+	}
 }
 
 // Jobs returns every job in submission order.

@@ -20,6 +20,7 @@ type Metrics struct {
 	JobsDone       atomic.Uint64
 	JobsFailed     atomic.Uint64
 	JobsCancelled  atomic.Uint64
+	JobsEvicted    atomic.Uint64 // terminal jobs dropped by the table cap
 	RunsCompleted  atomic.Uint64 // every engine completion (simulated or loaded)
 	Simulations    atomic.Uint64 // completions that actually simulated
 	StoreLoads     atomic.Uint64 // completions answered from the store
@@ -51,6 +52,7 @@ func (m *Metrics) WriteTo(w io.Writer, reg *telemetry.Registry) error {
 		fmt.Sprintf("pipm_jobs_done_total %d", m.JobsDone.Load()),
 		fmt.Sprintf("pipm_jobs_failed_total %d", m.JobsFailed.Load()),
 		fmt.Sprintf("pipm_jobs_cancelled_total %d", m.JobsCancelled.Load()),
+		fmt.Sprintf("pipm_jobs_evicted_total %d", m.JobsEvicted.Load()),
 		fmt.Sprintf("pipm_runs_completed_total %d", m.RunsCompleted.Load()),
 		fmt.Sprintf("pipm_simulations_total %d", m.Simulations.Load()),
 		fmt.Sprintf("pipm_store_loads_total %d", m.StoreLoads.Load()),

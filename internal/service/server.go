@@ -28,6 +28,11 @@ type Config struct {
 	// MaxActiveJobs bounds jobs executing at once (≤ 0 means 2); accepted
 	// jobs beyond it wait queued in submission order.
 	MaxActiveJobs int
+	// MaxJobs bounds the job table (≤ 0 means 1024): past it, the
+	// least-recently-accessed terminal jobs are evicted. Evicted jobs lose
+	// their status/event endpoints; their results remain addressable via
+	// /v1/runs/{key}.
+	MaxJobs int
 	// MaxRunsPerSweep rejects sweeps that expand past this many runs
 	// (≤ 0 means 4096).
 	MaxRunsPerSweep int
@@ -77,7 +82,7 @@ func New(cfg Config) *Service {
 		cfg:     cfg,
 		metrics: metrics,
 		reg:     reg,
-		mgr:     NewManager(runner, cfg.MaxActiveJobs, metrics),
+		mgr:     NewManager(runner, cfg.MaxActiveJobs, cfg.MaxJobs, metrics),
 		store:   cfg.Store,
 	}
 	s.handler = s.routes()

@@ -503,6 +503,83 @@ func TestExpand(t *testing.T) {
 	}
 }
 
+// TestJobTableEviction caps the job table at 2 and walks three sweeps
+// through it: the least-recently-accessed finished job is evicted on the
+// third submission, a status read refreshes a job's recency, live jobs and
+// the index stay consistent — and an evicted job's run artefact remains
+// reachable via /v1/runs/{key}, because results live in the store under
+// their run key, not in the job table.
+func TestJobTableEviction(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	svc := New(Config{Workers: 2, MaxActiveJobs: 2, MaxJobs: 2,
+		RequestTimeout: 30 * time.Second, Store: st})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	spec := func(records int64) SweepSpec {
+		return SweepSpec{Quick: true, Workloads: []string{"pr"},
+			Schemes: []string{"native"}, Records: records}
+	}
+	sub1, _ := submit(t, srv, spec(2000))
+	waitJob(t, svc, srv, sub1.ID)
+	sub2, _ := submit(t, srv, spec(2200))
+	st2 := waitJob(t, svc, srv, sub2.ID)
+	key2 := st2.Runs[0].Key
+
+	// Touch job 1 so job 2 becomes the eviction candidate, then overflow.
+	jobStatus(t, srv, sub1.ID)
+	sub3, _ := submit(t, srv, spec(2400))
+	waitJob(t, svc, srv, sub3.ID)
+
+	if _, ok := svc.Manager().Get(sub2.ID); ok {
+		t.Fatalf("job %s should have been evicted", sub2.ID[:12])
+	}
+	resp, err := http.Get(srv.URL + "/v1/sweeps/" + sub2.ID)
+	if err != nil {
+		t.Fatalf("GET evicted job: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET evicted job: status %d, want 404", resp.StatusCode)
+	}
+	for _, id := range []string{sub1.ID, sub3.ID} {
+		if got := jobStatus(t, srv, id); !got.State.Terminal() {
+			t.Fatalf("surviving job %s state %q", id[:12], got.State)
+		}
+	}
+	var index []JobStatus
+	getJSON(t, srv, "/v1/sweeps", &index)
+	if len(index) != 2 {
+		t.Fatalf("jobs index has %d entries, want 2", len(index))
+	}
+	if got := svc.Metrics().JobsEvicted.Load(); got != 1 {
+		t.Fatalf("JobsEvicted = %d, want 1", got)
+	}
+
+	// The evicted job's artefact is still served by its run key.
+	resp, err = http.Get(srv.URL + "/v1/runs/" + key2)
+	if err != nil {
+		t.Fatalf("GET evicted job's run: %v", err)
+	}
+	body, _ := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET evicted job's run: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Resubmitting the evicted spec is a fresh job, not a dedupe — and its
+	// run is answered from the store, not resimulated.
+	sub2b, code := submit(t, srv, spec(2200))
+	if code != http.StatusAccepted || sub2b.Deduped {
+		t.Fatalf("resubmit after eviction: status %d deduped=%v, want 202/false", code, sub2b.Deduped)
+	}
+	if got := waitJob(t, svc, srv, sub2b.ID); got.State != JobDone {
+		t.Fatalf("resubmitted job state %q", got.State)
+	}
+}
+
 func getJSON(t *testing.T, srv *httptest.Server, path string, v any) {
 	t.Helper()
 	resp, err := http.Get(srv.URL + path)

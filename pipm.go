@@ -23,6 +23,9 @@ import (
 // parameters, and kernel-migration cost constants.
 type Config = config.Config
 
+// MaxHosts is the largest cluster a configuration may describe.
+const MaxHosts = config.MaxHosts
+
 // Time is simulated time in picoseconds.
 type Time = sim.Time
 
@@ -266,6 +269,21 @@ func DefaultSuiteOptions() SuiteOptions { return harness.DefaultOptions() }
 // QuickSuiteOptions returns a small configuration suitable for tests and
 // demos (three workloads, short traces).
 func QuickSuiteOptions() SuiteOptions { return harness.QuickOptions() }
+
+// ScaleForHosts derives the cluster-size variant of a configuration: the
+// host count plus a directory sliced for it (the cluster-scale experiment's
+// config rule).
+func ScaleForHosts(cfg Config, hosts int) Config { return harness.ScaleForHosts(cfg, hosts) }
+
+// ClusterScaleRecords scales a per-core record budget inversely with the
+// host count, keeping total trace volume near the base configuration's.
+func ClusterScaleRecords(recordsPerCore int64, baseHosts, hosts int) int64 {
+	return harness.ClusterScaleRecords(recordsPerCore, baseHosts, hosts)
+}
+
+// ClusterScaleHosts is the default host ladder of the cluster-scale
+// experiment.
+func ClusterScaleHosts() []int { return harness.ClusterScaleHosts() }
 
 // Table1 renders the workload catalog; Table2 renders a configuration.
 func Table1() string           { return harness.Table1() }
