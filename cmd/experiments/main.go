@@ -1,5 +1,7 @@
-// Command experiments regenerates the paper's evaluation artefacts: Tables
-// 1–2 and Figures 4–5 and 10–17, printed as text tables. Every simulation
+// Command experiments regenerates the paper's evaluation artefacts — Tables
+// 1–2 and Figures 4–5 and 10–17 — plus the extension artefacts (cluster
+// scaling, the production-service workload comparison, threshold and
+// adaptivity sweeps), printed as text tables. Every simulation
 // flows through the harness's run-graph engine: runs are deduplicated by
 // canonical run key (full config + workload params + scheme + records +
 // seed), shared across figures, and executed on a bounded worker pool.
@@ -37,7 +39,7 @@ import (
 var order = []string{
 	"table1", "table2", "fig4", "fig5", "fig10", "fig11", "fig12",
 	"fig13", "fig14", "fig15", "fig16", "fig17", "scalability",
-	"clusterscale", "threshold", "adaptivity", "protocheck",
+	"clusterscale", "serve", "threshold", "adaptivity", "protocheck",
 }
 
 // clusterHosts is the parsed -hosts sweep for the clusterscale artefact;
@@ -95,7 +97,14 @@ func main() {
 	if *listWorkloads {
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "NAME\tSUITE\tFOOTPRINT\tSHARED%\tWRITE%")
-		for _, wl := range pipm.Workloads() {
+		for _, wl := range pipm.AllWorkloads() {
+			if wl.Mechanistic() {
+				// Production-service generators derive their mix from the
+				// serving/filesystem loop, not from SharedFrac/WriteFrac.
+				fmt.Fprintf(tw, "%s\t%s\t%dMB\tmechanistic\t-\n",
+					wl.Name, wl.Suite, wl.Footprint>>20)
+				continue
+			}
 			fmt.Fprintf(tw, "%s\t%s\t%dMB\t%.0f%%\t%.0f%%\n",
 				wl.Name, wl.Suite, wl.Footprint>>20, 100*wl.SharedFrac, 100*wl.WriteFrac)
 		}
@@ -525,6 +534,15 @@ func run(w io.Writer, s *pipm.Suite, opt pipm.SuiteOptions, id string) error {
 		return printT(s.Scalability(nil))
 	case "clusterscale":
 		tabs, err := s.ClusterScale(clusterHosts)
+		if err != nil {
+			return err
+		}
+		for _, t := range tabs {
+			fmt.Fprint(w, t.Format())
+		}
+		return nil
+	case "serve":
+		tabs, err := s.ServeComparison(clusterHosts)
 		if err != nil {
 			return err
 		}

@@ -47,7 +47,7 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 
 		listSchemes   = flag.Bool("list-schemes", false, "list registered placement schemes and exit")
-		listWorkloads = flag.Bool("list-workloads", false, "list the Table 1 workload catalog and exit")
+		listWorkloads = flag.Bool("list-workloads", false, "list every registered workload (Table 1 catalog + production services) and exit")
 	)
 	flag.Parse()
 
@@ -273,11 +273,19 @@ func printSchemes(w io.Writer) {
 	tw.Flush()
 }
 
-// printWorkloads lists the Table 1 catalog the -workload flag accepts.
+// printWorkloads lists every workload the -workload flag accepts: the
+// Table 1 statistical catalog plus the mechanistic production-service
+// generators, whose mix comes from their serving/filesystem loop rather
+// than SharedFrac/WriteFrac knobs.
 func printWorkloads(w io.Writer) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "NAME\tSUITE\tFOOTPRINT\tSHARED%\tWRITE%")
-	for _, wl := range pipm.Workloads() {
+	for _, wl := range pipm.AllWorkloads() {
+		if wl.Mechanistic() {
+			fmt.Fprintf(tw, "%s\t%s\t%dMB\tmechanistic\t-\n",
+				wl.Name, wl.Suite, wl.Footprint>>20)
+			continue
+		}
 		fmt.Fprintf(tw, "%s\t%s\t%dMB\t%.0f%%\t%.0f%%\n",
 			wl.Name, wl.Suite, wl.Footprint>>20, 100*wl.SharedFrac, 100*wl.WriteFrac)
 	}

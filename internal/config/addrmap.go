@@ -1,6 +1,9 @@
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Addr is a unified physical address in the multi-host system's global
 // address space (the CXL 3.1 GIM view): each host's exposed local memory and
@@ -112,6 +115,52 @@ func (m AddressMap) SharedAddr(off Addr) Addr {
 // the pool. The address must be in the shared region.
 func (m AddressMap) SharedPageIndex(a Addr) int64 {
 	return int64((a - m.sharedBase) >> PageShift)
+}
+
+// SplitSharedPages carves the shared pool's page range into consecutive
+// sub-regions proportional to the given non-negative weights — the region
+// sizing seam the mechanistic workload generators use (weights vs KV-cache,
+// metadata vs data extents). Cumulative rounding makes the carve
+// deterministic and exact: the returned counts always sum to SharedPages(),
+// every count is ≥ 0, and equal weight vectors always produce equal carves.
+// Non-finite or negative weights count as zero; an all-zero vector splits
+// evenly.
+func (m AddressMap) SplitSharedPages(weights ...float64) []int64 {
+	if len(weights) == 0 {
+		panic("config: SplitSharedPages needs at least one weight")
+	}
+	total := m.SharedPages()
+	w := make([]float64, len(weights))
+	var sum float64
+	for i, x := range weights {
+		if x > 0 && x == x && x <= math.MaxFloat64 {
+			w[i] = x
+			sum += x
+		}
+	}
+	if sum <= 0 {
+		for i := range w {
+			w[i] = 1
+		}
+		sum = float64(len(w))
+	}
+	out := make([]int64, len(w))
+	var cum float64
+	prev := int64(0)
+	for i, x := range w {
+		cum += x
+		edge := int64(float64(total) * (cum / sum))
+		if i == len(w)-1 || edge > total {
+			edge = total
+		}
+		if edge < prev {
+			edge = prev
+		}
+		out[i] = edge - prev
+		prev = edge
+	}
+	out[len(out)-1] += total - prev
+	return out
 }
 
 // PrivateAddr returns the address of byte off within host h's private window.

@@ -1,6 +1,7 @@
 package config
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -255,4 +256,72 @@ func TestSharedPages(t *testing.T) {
 	if got := c.SharedPages(); got != 11 {
 		t.Fatalf("SharedPages = %d, want 11", got)
 	}
+}
+
+func TestSplitSharedPages(t *testing.T) {
+	c := Default()
+	c.SharedBytes = 1024 * PageBytes
+	m := NewAddressMap(&c)
+	cases := []struct {
+		name    string
+		weights []float64
+		want    []int64
+	}{
+		{"even halves", []float64{1, 1}, []int64{512, 512}},
+		{"three quarters", []float64{0.75, 0.25}, []int64{768, 256}},
+		{"daxfs eighth", []float64{0.125, 0.875}, []int64{128, 896}},
+		{"single", []float64{1}, []int64{1024}},
+		{"zero weight", []float64{0, 1}, []int64{0, 1024}},
+		{"all zero splits evenly", []float64{0, 0}, []int64{512, 512}},
+		{"negative counts as zero", []float64{-3, 1}, []int64{0, 1024}},
+	}
+	for _, tc := range cases {
+		got := m.SplitSharedPages(tc.weights...)
+		if len(got) != len(tc.want) {
+			t.Fatalf("%s: %v parts", tc.name, got)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s: got %v, want %v", tc.name, got, tc.want)
+			}
+		}
+	}
+}
+
+// Property: any weight vector carves into non-negative parts that sum exactly
+// to SharedPages.
+func TestSplitSharedPagesExactProperty(t *testing.T) {
+	c := Default()
+	m := NewAddressMap(&c)
+	f := func(a, b, cc uint16, pages uint8) bool {
+		cfg := Default()
+		cfg.SharedBytes = (1 + int64(pages)) * PageBytes
+		mm := NewAddressMap(&cfg)
+		parts := mm.SplitSharedPages(float64(a), float64(b), float64(cc))
+		var sum int64
+		for _, p := range parts {
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		return sum == mm.SharedPages()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SplitSharedPages(math.NaN(), math.Inf(1), 1); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("non-finite weights should count as zero, got %v", got)
+	}
+}
+
+func TestSplitSharedPagesPanicsOnEmpty(t *testing.T) {
+	c := Default()
+	m := NewAddressMap(&c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.SplitSharedPages()
 }

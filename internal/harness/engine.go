@@ -62,6 +62,14 @@ type RunStats struct {
 	Records  int64  `json:"records_per_core"`
 	Seed     int64  `json:"seed"`
 
+	// Cluster shape and the record volume actually simulated. Cluster-scale
+	// sweeps scale Records inversely with Hosts, so Records alone misleads
+	// cross-host-count throughput comparisons; TotalRecords is
+	// Records × Hosts × CoresPerHost, the real simulated volume.
+	Hosts        int   `json:"hosts"`
+	CoresPerHost int   `json:"cores_per_host"`
+	TotalRecords int64 `json:"total_records"`
+
 	WallMS       float64 `json:"wall_ms"` // host wall-clock for RunOne
 	SimPS        int64   `json:"sim_ps"`  // simulated execution time (picoseconds)
 	Instructions int64   `json:"instructions"`
@@ -230,11 +238,14 @@ func (e *engine) getOnce(ctx context.Context, req RunRequest) (Result, error) {
 	}
 	ent := &runEntry{done: make(chan struct{})}
 	ent.stats = RunStats{
-		Key:      key.String(),
-		Workload: req.WL.Name,
-		Scheme:   req.Scheme.String(),
-		Records:  req.Records,
-		Seed:     req.Seed,
+		Key:          key.String(),
+		Workload:     req.WL.Name,
+		Scheme:       req.Scheme.String(),
+		Records:      req.Records,
+		Seed:         req.Seed,
+		Hosts:        req.Cfg.Hosts,
+		CoresPerHost: req.Cfg.CoresPerHost,
+		TotalRecords: req.Records * int64(req.Cfg.Hosts) * int64(req.Cfg.CoresPerHost),
 	}
 	e.runs[key] = ent
 	e.scheduled++

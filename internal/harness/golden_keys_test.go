@@ -107,6 +107,28 @@ func goldenKeyMatrix() []goldenKeyEntry {
 	nan.WL.OwnFrac = math.Float64frombits(0x7ff8000000000042)
 	out = append(out, req("wl.OwnFrac=NaN(payload42)", nan))
 
+	// Production-service workloads: the quick shape on both mechanistic
+	// generators, one enabled-sub-param variation each (the knob must join
+	// the key), and the disabled-equals-legacy alias — a statistical preset
+	// with zero-valued Serve/FS must key exactly like the pre-mechanistic
+	// encoding, which the "quick/..." entries above already pin.
+	for _, name := range []string{"llmserve", "daxfs"} {
+		w := mustWorkload(name)
+		for _, k := range clusterScaleSchemes {
+			out = append(out, req(fmt.Sprintf("serve/%s/%v", name, k),
+				RunRequest{Cfg: o.Cfg, WL: w, Scheme: k, Records: o.RecordsPerCore, Seed: o.Seed}))
+		}
+	}
+	serveKnob := base
+	serveKnob.WL = mustWorkload("llmserve")
+	serveKnob.WL.Serve.MigrateFrac += 0.25
+	out = append(out, req("serve/llmserve/MigrateFrac+0.25", serveKnob))
+
+	fsKnob := base
+	fsKnob.WL = mustWorkload("daxfs")
+	fsKnob.WL.FS.CASFanout++
+	out = append(out, req("serve/daxfs/CASFanout+1", fsKnob))
+
 	return out
 }
 

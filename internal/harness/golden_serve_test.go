@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"pipm/internal/migration"
+	"pipm/internal/workload"
+)
+
+// -update-golden-serve regenerates testdata/golden_serve.json — the
+// production-service tier of the bit-identity guard — from the current code.
+// Like the other golden flags, regenerate only for an intended Result change,
+// never to make a refactor pass.
+var updateGoldenServe = flag.Bool("update-golden-serve", false,
+	"rewrite internal/harness/testdata/golden_serve.json from the current code")
+
+const goldenServePath = "testdata/golden_serve.json"
+
+// goldenServeFile pins the ServeComparison sweep: every scheme on llmserve
+// and daxfs at the base cluster size plus the cluster-scale scheme subset at
+// 16/64/256 hosts, at the exact (config, records, seed) the experiment uses.
+type goldenServeFile struct {
+	Schema         string             `json:"schema"`
+	RecordsPerCore int64              `json:"records_per_core"`
+	Seed           int64              `json:"seed"`
+	Entries        []goldenServeEntry `json:"entries"`
+}
+
+type goldenServeEntry struct {
+	Workload string `json:"workload"`
+	Hosts    int    `json:"hosts"`
+	Scheme   string `json:"scheme"`
+	Key      string `json:"key"`
+	Digest   string `json:"digest"`
+}
+
+// goldenServeSweep executes the exact run set behind Suite.ServeComparison:
+// telemetry-free, so digests pin the same Results the tables are assembled
+// from. The base-host × cluster-scale-scheme pairs would duplicate base-host
+// × all-scheme entries, so the job list keeps only the first occurrence of
+// each (workload, hosts, scheme) triple.
+func goldenServeSweep(t *testing.T) []goldenServeEntry {
+	t.Helper()
+	o := QuickOptions()
+
+	type job struct {
+		idx   int
+		wl    workload.Params
+		hosts int
+		k     migration.Kind
+	}
+	var jobs []job
+	seen := map[string]bool{}
+	add := func(wl workload.Params, hosts int, k migration.Kind) {
+		id := fmt.Sprintf("%s/%d/%v", wl.Name, hosts, k)
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		jobs = append(jobs, job{idx: len(jobs), wl: wl, hosts: hosts, k: k})
+	}
+	for _, wl := range ServeWorkloads() {
+		for _, k := range migration.Kinds {
+			add(wl, o.Cfg.Hosts, k)
+		}
+		for _, hosts := range ClusterScaleHosts() {
+			for _, k := range clusterScaleSchemes {
+				add(wl, hosts, k)
+			}
+		}
+	}
+
+	entries := make([]goldenServeEntry, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := ScaleForHosts(o.Cfg, j.hosts)
+			records := ClusterScaleRecords(o.RecordsPerCore, o.Cfg.Hosts, j.hosts)
+			key := KeyOf(cfg, j.wl, j.k, records, o.Seed)
+			res, err := RunOne(cfg, j.wl, j.k, records, o.Seed)
+			if err != nil {
+				errs[j.idx] = fmt.Errorf("%s/%dhosts/%v: %w", j.wl.Name, j.hosts, j.k, err)
+				return
+			}
+			entries[j.idx] = goldenServeEntry{
+				Workload: j.wl.Name,
+				Hosts:    j.hosts,
+				Scheme:   j.k.String(),
+				Key:      key.String(),
+				Digest:   DigestResult(res),
+			}
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return entries
+}
+
+// TestGoldenServeSweep is the bit-identity guard over the production-service
+// path: every (workload, hosts, scheme) Result behind ServeComparison must
+// digest exactly as recorded in testdata/golden_serve.json. The mechanistic
+// generators execute their serving/filesystem loops, so these digests pin
+// generator behaviour — arrival sequencing, slot placement, CAS ordering —
+// as well as the simulator's, across every sharer-representation regime up
+// to 256 hosts.
+func TestGoldenServeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve sweep is too slow for -short")
+	}
+	o := QuickOptions()
+	got := goldenServeSweep(t)
+
+	if *updateGoldenServe {
+		gf := goldenServeFile{
+			Schema:         "pipm-golden-serve/v1",
+			RecordsPerCore: o.RecordsPerCore,
+			Seed:           o.Seed,
+			Entries:        got,
+		}
+		buf, err := json.MarshalIndent(gf, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenServePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenServePath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), goldenServePath)
+		return
+	}
+
+	buf, err := os.ReadFile(goldenServePath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden-serve): %v", err)
+	}
+	var want goldenServeFile
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenServePath, err)
+	}
+	if want.Schema != "pipm-golden-serve/v1" {
+		t.Fatalf("golden schema = %q, want pipm-golden-serve/v1", want.Schema)
+	}
+	if want.RecordsPerCore != o.RecordsPerCore || want.Seed != o.Seed {
+		t.Fatalf("golden sweep shape (records=%d seed=%d) != ServeComparison shape (records=%d seed=%d); regenerate with -update-golden-serve",
+			want.RecordsPerCore, want.Seed, o.RecordsPerCore, o.Seed)
+	}
+
+	wantByKey := make(map[string]goldenServeEntry, len(want.Entries))
+	for _, e := range want.Entries {
+		wantByKey[e.Key] = e
+	}
+	var mismatches []string
+	for _, e := range got {
+		w, ok := wantByKey[e.Key]
+		if !ok {
+			mismatches = append(mismatches,
+				fmt.Sprintf("%s/%dhosts/%s: run key %s not in golden file (workload params or scaled config changed; regenerate with -update-golden-serve)",
+					e.Workload, e.Hosts, e.Scheme, e.Key[:12]))
+			continue
+		}
+		if w.Digest != e.Digest {
+			mismatches = append(mismatches,
+				fmt.Sprintf("%s/%dhosts/%s: Result digest %s… != golden %s… (production-service path no longer bit-identical)",
+					e.Workload, e.Hosts, e.Scheme, e.Digest[:12], w.Digest[:12]))
+		}
+		delete(wantByKey, e.Key)
+	}
+	for _, w := range wantByKey {
+		mismatches = append(mismatches,
+			fmt.Sprintf("golden entry %s/%dhosts/%s has no matching run", w.Workload, w.Hosts, w.Scheme))
+	}
+	for _, m := range mismatches {
+		t.Error(m)
+	}
+	if len(got) != len(want.Entries) {
+		t.Errorf("ran %d workload×hosts×scheme triples, golden file has %d", len(got), len(want.Entries))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"pipm/internal/migration"
 	"pipm/internal/sim"
 	"pipm/internal/telemetry"
+	"pipm/internal/workload"
 )
 
 // The PDES engine's whole contract is bit-identity: at any intra-worker
@@ -38,48 +39,61 @@ func exportBytes(t *testing.T, key string, tout *telemetry.Output) (ts, tr []byt
 // telemetry sampling plus tracing plus the paranoid auditor — on the
 // sequential engine, then at 1, 2, 4 and 8 intra-workers, and requires
 // the Result digest, both telemetry exports and the audit report to be
-// identical across the whole matrix.
+// identical across the whole matrix. The row set covers one statistical
+// workload and both mechanistic production generators: the serving loop's
+// session state and the filesystem's append cursors must replay identically
+// under the PDES engine's prefetch batching.
 func TestIntraDeterminismMatrix(t *testing.T) {
 	o := auditDetOptions()
 	o.Telemetry = telemetry.Options{SampleInterval: 10 * sim.Microsecond, Trace: true}
-	wl := o.Workloads[0]
 	aopt := audit.Options{Mode: audit.Paranoid}.WithDefaults()
 
-	runAt := func(workers int) (Result, *telemetry.Output, audit.Report) {
-		res, tout, rep, err := RunOneOpts(o.Cfg, wl, migration.PIPM, o.RecordsPerCore, o.Seed,
-			RunOpts{Telemetry: o.Telemetry, Audit: aopt, Intra: machine.IntraOptions{Workers: workers}})
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		if err := rep.Err(); err != nil {
-			t.Fatalf("workers=%d: paranoid auditor found violations: %v", workers, err)
-		}
-		return res, tout, rep
+	rows := []workload.Params{
+		o.Workloads[0],
+		mustWorkload("llmserve"),
+		mustWorkload("daxfs"),
 	}
+	for _, wl := range rows {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			t.Parallel()
+			runAt := func(workers int) (Result, *telemetry.Output, audit.Report) {
+				res, tout, rep, err := RunOneOpts(o.Cfg, wl, migration.PIPM, o.RecordsPerCore, o.Seed,
+					RunOpts{Telemetry: o.Telemetry, Audit: aopt, Intra: machine.IntraOptions{Workers: workers}})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if err := rep.Err(); err != nil {
+					t.Fatalf("workers=%d: paranoid auditor found violations: %v", workers, err)
+				}
+				return res, tout, rep
+			}
 
-	baseRes, baseOut, baseRep := runAt(0)
-	wantDigest := DigestResult(baseRes)
-	wantTS, wantTR := exportBytes(t, "seq", baseOut)
-	if baseRep.Sweeps == 0 {
-		t.Fatal("paranoid auditor attached but never swept")
-	}
+			baseRes, baseOut, baseRep := runAt(0)
+			wantDigest := DigestResult(baseRes)
+			wantTS, wantTR := exportBytes(t, "seq", baseOut)
+			if baseRep.Sweeps == 0 {
+				t.Fatal("paranoid auditor attached but never swept")
+			}
 
-	for _, w := range intraWorkerMatrix {
-		res, tout, rep := runAt(w)
-		if got := DigestResult(res); got != wantDigest {
-			t.Errorf("workers=%d: digest %s… != sequential %s…", w, got[:12], wantDigest[:12])
-		}
-		ts, tr := exportBytes(t, "seq", tout)
-		if !bytes.Equal(ts, wantTS) {
-			t.Errorf("workers=%d: time-series export bytes differ from sequential engine", w)
-		}
-		if !bytes.Equal(tr, wantTR) {
-			t.Errorf("workers=%d: chrome-trace export bytes differ from sequential engine", w)
-		}
-		if rep.Sweeps != baseRep.Sweeps || rep.Checks != baseRep.Checks {
-			t.Errorf("workers=%d: audit report %d sweeps/%d checks != sequential %d/%d",
-				w, rep.Sweeps, rep.Checks, baseRep.Sweeps, baseRep.Checks)
-		}
+			for _, w := range intraWorkerMatrix {
+				res, tout, rep := runAt(w)
+				if got := DigestResult(res); got != wantDigest {
+					t.Errorf("workers=%d: digest %s… != sequential %s…", w, got[:12], wantDigest[:12])
+				}
+				ts, tr := exportBytes(t, "seq", tout)
+				if !bytes.Equal(ts, wantTS) {
+					t.Errorf("workers=%d: time-series export bytes differ from sequential engine", w)
+				}
+				if !bytes.Equal(tr, wantTR) {
+					t.Errorf("workers=%d: chrome-trace export bytes differ from sequential engine", w)
+				}
+				if rep.Sweeps != baseRep.Sweeps || rep.Checks != baseRep.Checks {
+					t.Errorf("workers=%d: audit report %d sweeps/%d checks != sequential %d/%d",
+						w, rep.Sweeps, rep.Checks, baseRep.Sweeps, baseRep.Checks)
+				}
+			}
+		})
 	}
 }
 

@@ -53,7 +53,7 @@ func keyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, see
 	h := sha256.New()
 	enc := canonEncoder{h: h}
 	enc.value("cfg", reflect.ValueOf(cfg))
-	enc.value("workload", reflect.ValueOf(wl))
+	encodeWorkload(enc, wl)
 	enc.int64("scheme", int64(k))
 	enc.int64("records", records)
 	enc.int64("seed", seed)
@@ -69,6 +69,30 @@ func keyOf(cfg config.Config, wl workload.Params, k migration.Kind, records, see
 	var key RunKey
 	h.Sum(key[:0])
 	return key
+}
+
+// encodeWorkload hashes the workload like enc.value("workload", ...) would,
+// except that the mechanistic sub-params (Serve, FS) join the stream only
+// when enabled. A disabled sub-struct hashes as nothing at all, so every
+// statistical preset keeps the exact key it had before the mechanistic
+// family existed — the memo, the result store and the golden fixtures all
+// survive the field additions — while any enabled mechanistic knob still
+// changes the key. Future optional sub-generators get the same treatment by
+// satisfying the optional interface below.
+func encodeWorkload(enc canonEncoder, wl workload.Params) {
+	enc.bytes([]byte("workload"))
+	v := reflect.ValueOf(wl)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.PkgPath != "" {
+			continue // unexported: not part of the run identity
+		}
+		if opt, ok := v.Field(i).Interface().(interface{ Enabled() bool }); ok && !opt.Enabled() {
+			continue // disabled optional generator: hashes as absent
+		}
+		enc.value(f.Name, v.Field(i))
+	}
 }
 
 // canonNaNBits is the single quiet-NaN pattern every NaN encoding hashes

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"crypto/sha256"
 	"math"
 	"reflect"
 	"testing"
 
+	"pipm/internal/llmserve"
 	"pipm/internal/migration"
 	"pipm/internal/sim"
 	"pipm/internal/workload"
@@ -178,5 +180,83 @@ func TestRunRequestKeyMatchesKeyOf(t *testing.T) {
 	req := RunRequest{Cfg: o.Cfg, WL: wl, Scheme: migration.PIPM, Records: 123, Seed: 7}
 	if req.Key() != KeyOf(o.Cfg, wl, migration.PIPM, 123, 7) {
 		t.Fatal("RunRequest.Key disagrees with KeyOf")
+	}
+}
+
+// legacyWorkloadMirror is the workload.Params field set as it stood before
+// the mechanistic Serve/FS sub-params existed. TestRunKeyLegacyEncodingStable
+// encodes it with the generic struct walker and demands the production
+// encoder emit the same key for a statistical preset — the property that
+// keeps every persisted store entry and golden fixture valid across the
+// field additions. If a field is ever added to workload.Params without the
+// Enabled() gating, this mirror (intentionally) goes stale and the test
+// fails, forcing a decision about key compatibility.
+type legacyWorkloadMirror struct {
+	Name        string
+	Suite       string
+	Footprint   int64
+	SharedFrac  float64
+	OwnFrac     float64
+	SpillFrac   float64
+	ZipfS       float64
+	RunLen      float64
+	WriteFrac   float64
+	GapMean     int
+	DepFrac     float64
+	RotateEvery int64
+}
+
+func TestRunKeyLegacyEncodingStable(t *testing.T) {
+	o := QuickOptions()
+	for _, wl := range workload.Catalog() {
+		mirror := legacyWorkloadMirror{
+			Name: wl.Name, Suite: wl.Suite, Footprint: wl.Footprint,
+			SharedFrac: wl.SharedFrac, OwnFrac: wl.OwnFrac, SpillFrac: wl.SpillFrac,
+			ZipfS: wl.ZipfS, RunLen: wl.RunLen, WriteFrac: wl.WriteFrac,
+			GapMean: wl.GapMean, DepFrac: wl.DepFrac, RotateEvery: wl.RotateEvery,
+		}
+		legacy := sha256.New()
+		enc := canonEncoder{h: legacy}
+		enc.value("cfg", reflect.ValueOf(o.Cfg))
+		enc.value("workload", reflect.ValueOf(mirror))
+		enc.int64("scheme", int64(migration.PIPM))
+		enc.int64("records", int64(1000))
+		enc.int64("seed", 1)
+		var want RunKey
+		legacy.Sum(want[:0])
+		if got := KeyOf(o.Cfg, wl, migration.PIPM, 1000, 1); got != want {
+			t.Fatalf("%s: key diverged from the pre-mechanistic encoding", wl.Name)
+		}
+	}
+}
+
+// Enabled mechanistic params must join the key: same name, different knob ⇒
+// different key, and enabling either generator changes the key at all.
+func TestRunKeyMechanisticParamsJoin(t *testing.T) {
+	o := QuickOptions()
+	serve, err := workload.ByName("llmserve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := workload.ByName("daxfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := serve
+	plain.Serve = llmserve.Params{}
+	base := KeyOf(o.Cfg, serve, migration.PIPM, 1000, 1)
+	if KeyOf(o.Cfg, plain, migration.PIPM, 1000, 1) == base {
+		t.Error("enabling Serve did not change the key")
+	}
+	hot := serve
+	hot.Serve.MigrateFrac += 0.25
+	if KeyOf(o.Cfg, hot, migration.PIPM, 1000, 1) == base {
+		t.Error("Serve knob change under the same name did not change the key")
+	}
+	fsBase := KeyOf(o.Cfg, fs, migration.PIPM, 1000, 1)
+	fsHot := fs
+	fsHot.FS.CASFanout++
+	if KeyOf(o.Cfg, fsHot, migration.PIPM, 1000, 1) == fsBase {
+		t.Error("FS knob change under the same name did not change the key")
 	}
 }

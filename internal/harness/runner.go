@@ -189,6 +189,9 @@ type RunOpts struct {
 // audit report (DESIGN.md §13).
 func RunOneOpts(cfg config.Config, wl workload.Params, k migration.Kind, records, seed int64,
 	o RunOpts) (Result, *telemetry.Output, audit.Report, error) {
+	if err := wl.Validate(); err != nil {
+		return Result{}, nil, audit.Report{}, err
+	}
 	m, err := machine.New(cfg, k)
 	if err != nil {
 		return Result{}, nil, audit.Report{}, err

@@ -2,9 +2,13 @@ package validate
 
 import (
 	"fmt"
+	"math"
 
+	"pipm/internal/config"
 	"pipm/internal/harness"
+	"pipm/internal/llmserve"
 	"pipm/internal/migration"
+	"pipm/internal/workload"
 )
 
 // Relation is one metamorphic relation: a property that must hold between
@@ -154,31 +158,44 @@ var Relations = []Relation{
 		Desc: "half the trace simulates strictly less time and fewer instructions than the whole",
 		Check: func(c *Ctx) (string, error) {
 			o := c.Opt.Harness
-			wl := o.Workloads[0]
 			half := o.RecordsPerCore / 2
 			if half < 1 {
 				return "skipped: record budget too small to halve", nil
 			}
-			checked := 0
-			for _, k := range []migration.Kind{migration.Native, migration.PIPM, migration.Memtis} {
-				if !c.Opt.hasScheme(k) {
-					continue
-				}
-				full, err := c.base(wl, k)
+			// One statistical workload plus both mechanistic production
+			// generators: their readers emit whole multi-record operations,
+			// so the budget gate inside the op buffer is what keeps a half
+			// budget a strict prefix of the full one.
+			wls := []workload.Params{o.Workloads[0]}
+			for _, name := range []string{"llmserve", "daxfs"} {
+				wl, err := workload.ByName(name)
 				if err != nil {
 					return "", infra(err)
 				}
-				short, err := c.get(o.Cfg, wl, k, half, o.Seed)
-				if err != nil {
-					return "", infra(err)
-				}
-				if short.ExecTime >= full.ExecTime || short.Instructions >= full.Instructions {
-					return "", fmt.Errorf("%s/%v: prefix not monotone: %v/%d instr vs %v/%d",
-						wl.Name, k, short.ExecTime, short.Instructions, full.ExecTime, full.Instructions)
-				}
-				checked++
+				wls = append(wls, wl)
 			}
-			return fmt.Sprintf("%d schemes monotone on %s", checked, wl.Name), nil
+			checked := 0
+			for _, wl := range wls {
+				for _, k := range []migration.Kind{migration.Native, migration.PIPM, migration.Memtis} {
+					if !c.Opt.hasScheme(k) {
+						continue
+					}
+					full, err := c.base(wl, k)
+					if err != nil {
+						return "", infra(err)
+					}
+					short, err := c.get(o.Cfg, wl, k, half, o.Seed)
+					if err != nil {
+						return "", infra(err)
+					}
+					if short.ExecTime >= full.ExecTime || short.Instructions >= full.Instructions {
+						return "", fmt.Errorf("%s/%v: prefix not monotone: %v/%d instr vs %v/%d",
+							wl.Name, k, short.ExecTime, short.Instructions, full.ExecTime, full.Instructions)
+					}
+					checked++
+				}
+			}
+			return fmt.Sprintf("%d scheme×workload prefixes monotone", checked), nil
 		},
 	},
 	{
@@ -206,6 +223,165 @@ var Relations = []Relation{
 				}
 			}
 			return fmt.Sprintf("%d workloads bounded", len(c.Opt.Harness.Workloads)), nil
+		},
+	},
+	{
+		Name: "serve-weight-read-invariance",
+		Desc: "the llmserve trace never writes the weight region, and every scheme executes exactly the trace's instructions",
+		Check: func(c *Ctx) (string, error) {
+			wl, err := workload.ByName("llmserve")
+			if err != nil {
+				return "", infra(err)
+			}
+			o := c.Opt.Harness
+			am := config.NewAddressMap(&o.Cfg)
+			// The trace-side half: drain the exact readers the simulations
+			// consume and classify every access against the weight boundary.
+			counts, err := llmserve.Profile(wl.Serve, am, o.Cfg.Hosts, o.Cfg.CoresPerHost,
+				o.RecordsPerCore, o.Seed)
+			if err != nil {
+				return "", infra(err)
+			}
+			if counts.WeightWrites != 0 {
+				return "", fmt.Errorf("llmserve trace wrote the weight region %d times", counts.WeightWrites)
+			}
+			if counts.WeightReads == 0 {
+				return "", fmt.Errorf("llmserve trace never read the weight region (%+v)", counts)
+			}
+			// The machine-side half: a scheme migrates and stalls, but it
+			// must not invent or drop work — every scheme's instruction
+			// count equals the trace profile's, making the weight-read count
+			// above a scheme-invariant of the whole sweep.
+			runs := 0
+			for _, k := range c.Opt.schemes() {
+				r, err := c.base(wl, k)
+				if err != nil {
+					return "", infra(err)
+				}
+				runs++
+				if r.Instructions != counts.Instructions {
+					return "", fmt.Errorf("llmserve/%v executed %d instructions, trace profile has %d",
+						k, r.Instructions, counts.Instructions)
+				}
+			}
+			return fmt.Sprintf("%d weight reads, 0 weight writes, invariant across %d schemes", counts.WeightReads, runs), nil
+		},
+	},
+	{
+		Name: "serve-degenerate-readonly",
+		Desc: "arrivals-off llmserve and append-free own-subtree daxfs degenerate to host-local read-only traffic that PIPM absorbs toward the local-only ideal",
+		Check: func(c *Ctx) (string, error) {
+			if !c.Opt.hasScheme(migration.LocalOnly) || !c.Opt.hasScheme(migration.PIPM) ||
+				!c.Opt.hasScheme(migration.Native) {
+				return "skipped: needs local-only, pipm and native", nil
+			}
+			serve, err := workload.ByName("llmserve")
+			if err != nil {
+				return "", infra(err)
+			}
+			serve.Name += "-idle"
+			serve.Serve.ArrivalMean = 0 // no sessions: only the idle scan of the host's own weight shard
+			fs, err := workload.ByName("daxfs")
+			if err != nil {
+				return "", infra(err)
+			}
+			fs.Name += "-scan"
+			fs.FS.LookupFrac, fs.FS.ScanFrac = 0, 1 // no appends, no shared hot-line lookups
+			fs.FS.OwnFrac = 1                       // every scan stays in the host's own subtree
+
+			// Both degenerates are perfectly host-partitioned read-only
+			// traces — PIPM's best case. Exact equality with the local-only
+			// idealisation is unreachable in finite runs: every page must be
+			// discovered remotely before its votes trip promotion, and lines
+			// migrate only as the LLC evicts them (the paper's Loc-WB
+			// trigger plus the clean-Exclusive extension), so the warmup is
+			// O(pages) and the steady state keeps the remap-walk cost. What
+			// must hold over the seed sweep: mean exec times order strictly
+			// local-only < PIPM < native (95% CIs reported alongside), PIPM
+			// closes most of the native→ideal gap, its local hit rate
+			// converges toward local-only's 1.0 as the budget doubles, and
+			// native stays at exactly zero local hits.
+			const minClosure = 0.40
+			// Below ~5 full sweeps of a host's share of the quick heap the
+			// run is all warmup and the closure bound is vacuous, so the
+			// relation enforces a record floor instead of inheriting an
+			// arbitrarily small budget.
+			const minRecords = 60_000
+			o := c.Opt.Harness
+			records := o.RecordsPerCore
+			if records < minRecords {
+				records = minRecords
+			}
+			var details string
+			for _, wl := range []workload.Params{serve, fs} {
+				sample := func(k migration.Kind) (exec, hit Estimate, err error) {
+					xs := make([]float64, 0, c.Opt.Seeds)
+					hs := make([]float64, 0, c.Opt.Seeds)
+					for seed := o.Seed; seed < o.Seed+int64(c.Opt.Seeds); seed++ {
+						r, err := c.get(o.Cfg, wl, k, records, seed)
+						if err != nil {
+							return Estimate{}, Estimate{}, err
+						}
+						xs = append(xs, float64(r.ExecTime))
+						hs = append(hs, r.LocalHitRate)
+					}
+					return estimate(xs), estimate(hs), nil
+				}
+				ideal, idealHit, err := sample(migration.LocalOnly)
+				if err != nil {
+					return "", infra(err)
+				}
+				pipm, pipmHit, err := sample(migration.PIPM)
+				if err != nil {
+					return "", infra(err)
+				}
+				native, nativeHit, err := sample(migration.Native)
+				if err != nil {
+					return "", infra(err)
+				}
+				if idealHit.Mean != 1 || idealHit.Stddev != 0 {
+					return "", fmt.Errorf("%s: local-only hit rate %.4g ± %.2g, want exactly 1",
+						wl.Name, idealHit.Mean, idealHit.Stddev)
+				}
+				if nativeHit.Mean != 0 || nativeHit.Stddev != 0 {
+					return "", fmt.Errorf("%s: native hit rate %.4g ± %.2g, want exactly 0",
+						wl.Name, nativeHit.Mean, nativeHit.Stddev)
+				}
+				if ideal.Mean >= pipm.Mean {
+					return "", fmt.Errorf("%s: local-only %.4g ± %.2g ps not below pipm %.4g ± %.2g ps",
+						wl.Name, ideal.Mean, ideal.CI95, pipm.Mean, pipm.CI95)
+				}
+				if pipm.Mean >= native.Mean {
+					return "", fmt.Errorf("%s: pipm %.4g ± %.2g ps not below native %.4g ± %.2g ps",
+						wl.Name, pipm.Mean, pipm.CI95, native.Mean, native.CI95)
+				}
+				closure := (native.Mean - pipm.Mean) / (native.Mean - ideal.Mean)
+				if math.IsNaN(closure) || closure < minClosure {
+					return "", fmt.Errorf("%s: pipm closes only %.2g of the native→local-only gap, want ≥ %.2g",
+						wl.Name, closure, minClosure)
+				}
+				// Convergence toward the ideal: doubling the budget amortises
+				// more of the O(pages) warmup, so the hit rate must rise
+				// (one seed — the doubled runs are the expensive ones).
+				r2, err := c.get(o.Cfg, wl, migration.PIPM, 2*records, o.Seed)
+				if err != nil {
+					return "", infra(err)
+				}
+				r1, err := c.get(o.Cfg, wl, migration.PIPM, records, o.Seed)
+				if err != nil {
+					return "", infra(err)
+				}
+				if r2.LocalHitRate <= r1.LocalHitRate {
+					return "", fmt.Errorf("%s: pipm hit rate %.4g at 2× budget not above %.4g at 1× — not converging on local-only",
+						wl.Name, r2.LocalHitRate, r1.LocalHitRate)
+				}
+				if details != "" {
+					details += ", "
+				}
+				details += fmt.Sprintf("%s closes %.0f%% (hit %.2f→%.2f)",
+					wl.Name, 100*closure, pipmHit.Mean, r2.LocalHitRate)
+			}
+			return details + fmt.Sprintf(" over %d seeds", c.Opt.Seeds), nil
 		},
 	},
 	{

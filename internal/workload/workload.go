@@ -18,6 +18,8 @@ import (
 	"math/rand"
 
 	"pipm/internal/config"
+	"pipm/internal/daxfs"
+	"pipm/internal/llmserve"
 	"pipm/internal/trace"
 )
 
@@ -64,6 +66,35 @@ type Params struct {
 	// follow and a static mapping cannot. Zero keeps affinity fixed, as in
 	// the Table 1 calibration.
 	RotateEvery int64
+
+	// Serve, when enabled (any nonzero field), replaces the statistical
+	// generator with the mechanistic multi-host LLM serving model
+	// (internal/llmserve); the statistical knobs above are then unused.
+	Serve llmserve.Params
+
+	// FS, when enabled, replaces the statistical generator with the
+	// mechanistic DAXFS shared-filesystem model (internal/daxfs).
+	FS daxfs.Params
+}
+
+// Mechanistic reports whether the params select a mechanistic generator
+// (Serve or FS) instead of the statistical one.
+func (p Params) Mechanistic() bool { return p.Serve.Enabled() || p.FS.Enabled() }
+
+// Validate rejects parameter sets no generator can execute: at most one
+// mechanistic model selected, and its knobs self-consistent. Statistical
+// presets are construction-validated by the catalog and always pass.
+func (p Params) Validate() error {
+	if p.Serve.Enabled() && p.FS.Enabled() {
+		return fmt.Errorf("workload %q: Serve and FS are mutually exclusive", p.Name)
+	}
+	if p.Serve.Enabled() {
+		return p.Serve.Validate()
+	}
+	if p.FS.Enabled() {
+		return p.FS.Validate()
+	}
+	return nil
 }
 
 // Catalog returns the Table 1 workloads in presentation order.
@@ -99,9 +130,29 @@ func Catalog() []Params {
 	}
 }
 
-// ByName returns the catalog entry with the given name.
+// Production returns the production-service workload family: mechanistic
+// generators modelled on the traffic multi-host CXL pools actually serve
+// (ROADMAP item 3) rather than Table 1 kernels. Footprints are the nominal
+// deployment sizes the models are calibrated against (display only; the
+// simulated heap is SharedBytes as everywhere else).
+func Production() []Params {
+	const gb = 1 << 30
+	return []Params{
+		{Name: "llmserve", Suite: "Serve", Footprint: 160 * gb, Serve: llmserve.Default()},
+		{Name: "daxfs", Suite: "Serve", Footprint: 64 * gb, FS: daxfs.Default()},
+	}
+}
+
+// All returns every registered workload: the Table 1 catalog followed by the
+// production-service family. Name lookups and CLI listings use this; sweep
+// builders that reproduce the paper's figures keep using Catalog.
+func All() []Params {
+	return append(Catalog(), Production()...)
+}
+
+// ByName returns the registered workload with the given name.
 func ByName(name string) (Params, error) {
-	for _, p := range Catalog() {
+	for _, p := range All() {
 		if p.Name == name {
 			return p, nil
 		}
@@ -109,10 +160,10 @@ func ByName(name string) (Params, error) {
 	return Params{}, fmt.Errorf("workload: unknown workload %q", name)
 }
 
-// Names lists catalog workload names in order.
+// Names lists every registered workload name in order.
 func Names() []string {
 	var ns []string
-	for _, p := range Catalog() {
+	for _, p := range All() {
 		ns = append(ns, p.Name)
 	}
 	return ns
@@ -124,8 +175,18 @@ const stackBytes = 64 << 10
 // minZipfS is the smallest usable skew for math/rand's Zipf (requires >1).
 const minZipfS = 1.05
 
-// NewReader builds the deterministic record stream for one core.
+// NewReader builds the deterministic record stream for one core. Mechanistic
+// presets (Serve/FS) dispatch to their generator, which derives its RNG from
+// (seed, host, core) alone so validation passes can reconstruct the stream;
+// statistical presets keep the name-salted seam below, byte-identical to
+// their pre-mechanistic encoding.
 func (p Params) NewReader(am config.AddressMap, hosts, host, core int, records int64, seed int64) trace.Reader {
+	if p.Serve.Enabled() {
+		return llmserve.New(p.Serve, am, hosts, host, core, records, seed)
+	}
+	if p.FS.Enabled() {
+		return daxfs.New(p.FS, am, hosts, host, core, records, seed)
+	}
 	if host < 0 || host >= hosts {
 		panic(fmt.Sprintf("workload: host %d out of range", host))
 	}

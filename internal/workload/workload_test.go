@@ -44,8 +44,11 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("ByName accepted garbage")
 	}
-	if len(Names()) != 13 {
+	if len(Names()) != 15 {
 		t.Fatal("Names() length mismatch")
+	}
+	if p, err := ByName("daxfs"); err != nil || !p.FS.Enabled() {
+		t.Fatalf("ByName(daxfs) = %+v, %v", p, err)
 	}
 }
 
@@ -348,6 +351,111 @@ func TestNoRotationByDefault(t *testing.T) {
 	for _, p := range Catalog() {
 		if p.RotateEvery != 0 {
 			t.Fatalf("%s has rotation in the calibrated catalog", p.Name)
+		}
+	}
+}
+
+func TestProductionFamily(t *testing.T) {
+	prod := Production()
+	if len(prod) != 2 {
+		t.Fatalf("production family has %d workloads, want 2", len(prod))
+	}
+	names := map[string]bool{}
+	for _, p := range prod {
+		names[p.Name] = true
+		if p.Suite != "Serve" {
+			t.Errorf("%s: suite %q, want Serve", p.Name, p.Suite)
+		}
+		if p.Footprint <= 0 {
+			t.Errorf("%s: no footprint", p.Name)
+		}
+		if !p.Mechanistic() {
+			t.Errorf("%s: not mechanistic", p.Name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	if !names["llmserve"] || !names["daxfs"] {
+		t.Fatalf("production names = %v", names)
+	}
+	if len(All()) != len(Catalog())+2 {
+		t.Fatalf("All() = %d entries, want catalog+2", len(All()))
+	}
+	if len(Names()) != 15 {
+		t.Fatalf("Names() = %d, want 15", len(Names()))
+	}
+	for _, p := range Catalog() {
+		if p.Mechanistic() {
+			t.Errorf("%s: catalog preset claims mechanistic", p.Name)
+		}
+	}
+}
+
+func TestValidateRejectsBadMechanistic(t *testing.T) {
+	serve, _ := ByName("llmserve")
+	fs, _ := ByName("daxfs")
+	both := serve
+	both.FS = fs.FS
+	if both.Validate() == nil {
+		t.Fatal("Serve+FS accepted")
+	}
+	bad := serve
+	bad.Serve.WeightFrac = -1
+	if bad.Validate() == nil {
+		t.Fatal("invalid Serve params accepted")
+	}
+	badFS := fs
+	badFS.FS.HotLines = -1
+	if badFS.Validate() == nil {
+		t.Fatal("invalid FS params accepted")
+	}
+	if pr, _ := ByName("pr"); pr.Validate() != nil {
+		t.Fatal("statistical preset rejected")
+	}
+}
+
+func TestMechanisticDispatchAndDeterminism(t *testing.T) {
+	am, _ := testAM()
+	for _, name := range []string{"llmserve", "daxfs"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect := func(seed int64) []trace.Record {
+			r := p.NewReader(am, 4, 1, 2, 4000, seed)
+			var recs []trace.Record
+			for {
+				rec, ok := r.Next()
+				if !ok {
+					break
+				}
+				recs = append(recs, rec)
+			}
+			return recs
+		}
+		a, b := collect(7), collect(7)
+		if len(a) != 4000 {
+			t.Fatalf("%s: yielded %d records", name, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: records diverge at %d", name, i)
+			}
+			if kind, _ := am.Region(a[i].Addr); kind != config.RegionShared {
+				t.Fatalf("%s: mechanistic generators emit shared traffic only, got %#x", name, uint64(a[i].Addr))
+			}
+		}
+		c := collect(8)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical streams", name)
 		}
 	}
 }

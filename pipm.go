@@ -75,10 +75,19 @@ type Workload = workload.Params
 // Workloads returns the full Table 1 catalog.
 func Workloads() []Workload { return workload.Catalog() }
 
-// WorkloadByName returns the catalog entry with the given name.
+// ProductionWorkloads returns the production-service workload family: the
+// mechanistic multi-host LLM serving (llmserve) and DAXFS shared-filesystem
+// (daxfs) models.
+func ProductionWorkloads() []Workload { return workload.Production() }
+
+// AllWorkloads returns every registered workload: the Table 1 catalog
+// followed by the production-service family.
+func AllWorkloads() []Workload { return workload.All() }
+
+// WorkloadByName returns the registered workload with the given name.
 func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
 
-// WorkloadNames lists catalog names in order.
+// WorkloadNames lists every registered workload name in order.
 func WorkloadNames() []string { return workload.Names() }
 
 // DefaultConfig returns the paper's Table 2 configuration at full scale.

@@ -34,12 +34,19 @@ func TestSchemesRoundTrip(t *testing.T) {
 }
 
 func TestWorkloadCatalog(t *testing.T) {
-	if len(pipm.Workloads()) != 13 || len(pipm.WorkloadNames()) != 13 {
+	if len(pipm.Workloads()) != 13 || len(pipm.WorkloadNames()) != 15 {
 		t.Fatal("catalog size mismatch")
+	}
+	if len(pipm.ProductionWorkloads()) != 2 || len(pipm.AllWorkloads()) != 15 {
+		t.Fatal("production family size mismatch")
 	}
 	wl, err := pipm.WorkloadByName("tpcc")
 	if err != nil || wl.Suite != "Silo" {
 		t.Fatalf("WorkloadByName(tpcc) = %+v, %v", wl, err)
+	}
+	serve, err := pipm.WorkloadByName("llmserve")
+	if err != nil || serve.Suite != "Serve" {
+		t.Fatalf("WorkloadByName(llmserve) = %+v, %v", serve, err)
 	}
 }
 
